@@ -1,0 +1,261 @@
+// Package sparseapsp is a reproduction of "Communication Avoiding
+// All-Pairs Shortest Paths Algorithm for Sparse Graphs" (Zhu, Hua, Jin;
+// ICPP 2021). It provides:
+//
+//   - weighted undirected graphs and generators (grids, random graphs,
+//     R-MAT, trees, ...);
+//   - sequential APSP solvers: classical and blocked Floyd–Warshall,
+//     Johnson's algorithm, and the supernodal SuperFW;
+//   - distributed APSP solvers executing on a simulated
+//     distributed-memory machine with critical-path cost accounting:
+//     the paper's 2D-SPARSE-APSP, the dense 2D-DC-APSP comparator, and
+//     a blocked 2D Floyd–Warshall;
+//   - the nested-dissection / elimination-tree preprocessing pipeline
+//     the paper builds on, implemented from scratch;
+//   - the asymptotic cost formulas of Table 2 for comparing measured
+//     communication against the paper's bounds.
+//
+// Quick start:
+//
+//	g := sparseapsp.Grid2D(32, 32, sparseapsp.UnitWeights)
+//	res, err := sparseapsp.Solve(g, sparseapsp.Options{P: 49})
+//	if err != nil { ... }
+//	fmt.Println(res.Dist.At(0, g.N()-1), res.Report.Critical)
+package sparseapsp
+
+import (
+	"fmt"
+
+	"sparseapsp/internal/apsp"
+	"sparseapsp/internal/comm"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/partition"
+	"sparseapsp/internal/semiring"
+)
+
+// Re-exported core types. They are aliases, so values flow freely
+// between the public API and the internal packages.
+type (
+	// Graph is a weighted undirected graph (Section 3.2 of the paper).
+	Graph = graph.Graph
+	// Matrix is a dense min-plus matrix; distances use +Inf for
+	// "unreachable".
+	Matrix = semiring.Matrix
+	// Cost is a critical-path cost vector (latency = messages,
+	// bandwidth = words, flops = semiring operations).
+	Cost = comm.Cost
+	// Report is a full cost report of a simulated run.
+	Report = comm.Report
+	// WeightFn produces edge weights for the generators.
+	WeightFn = graph.WeightFn
+)
+
+// Inf is the distance of unreachable pairs.
+var Inf = semiring.Inf
+
+// NewGraph returns an empty graph with n vertices; add edges with
+// AddEdge.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// ReadGraph parses the text edge-list format (see internal/graph).
+var ReadGraph = graph.Read
+
+// Generators for the standard workload families.
+var (
+	UnitWeights   = graph.UnitWeights
+	RandomWeights = graph.RandomWeights
+	Grid2D        = graph.Grid2D
+	Grid3D        = graph.Grid3D
+	Path          = graph.Path
+	Cycle         = graph.Cycle
+	Complete      = graph.Complete
+	RandomGNP     = graph.RandomGNP
+	RandomTree    = graph.RandomTree
+	RMAT          = graph.RMAT
+	Star          = graph.Star
+)
+
+// Algorithm selects an APSP solver.
+type Algorithm string
+
+const (
+	// Auto picks SparseAPSP when P is a valid sparse machine size
+	// ((2^h−1)²), DCAPSP for other P > 1, and SuperFW for P ≤ 1.
+	Auto Algorithm = "auto"
+	// Sparse2D is the paper's distributed 2D-SPARSE-APSP.
+	Sparse2D Algorithm = "sparse2d"
+	// DenseDC is the distributed 2D-DC-APSP of Solomonik et al.
+	DenseDC Algorithm = "dc"
+	// Dense2DFW is the distributed blocked 2D Floyd–Warshall.
+	Dense2DFW Algorithm = "2dfw"
+	// Dense1DFW is the unblocked row-striped Floyd–Warshall
+	// (Jenq–Sahni lineage) with Θ(n·log p) latency — the related-work
+	// baseline showing why blocked layouts matter.
+	Dense1DFW Algorithm = "1dfw"
+	// SeqFW is the sequential classical Floyd–Warshall.
+	SeqFW Algorithm = "fw"
+	// SeqBlockedFW is the sequential blocked Floyd–Warshall.
+	SeqBlockedFW Algorithm = "blockedfw"
+	// SeqSuperFW is the sequential supernodal solver of Sao et al.
+	SeqSuperFW Algorithm = "superfw"
+	// SeqSuperFWParallel is SuperFW with eTree-level shared-memory
+	// parallelism (goroutine pool over independent blocks).
+	SeqSuperFWParallel Algorithm = "superfw-par"
+	// SeqJohnson is Dijkstra from every source.
+	SeqJohnson Algorithm = "johnson"
+)
+
+// Options configures Solve.
+type Options struct {
+	// P is the simulated machine size for the distributed algorithms
+	// (ignored by the sequential ones). The sparse algorithm requires
+	// P ∈ {1, 9, 49, 225, 961, ...} = (2^h−1)²; see ValidProcessorCounts.
+	P int
+	// Algorithm picks the solver; default Auto.
+	Algorithm Algorithm
+	// Seed makes the randomized nested-dissection deterministic.
+	Seed int64
+	// TreeHeight is the eTree height for SeqSuperFW (default 3). The
+	// distributed sparse algorithm derives it from P instead.
+	TreeHeight int
+	// CyclicFactor is the block-cyclic factor of DenseDC (default 4).
+	CyclicFactor int
+	// BlockSize is the block size for SeqBlockedFW (default 64).
+	BlockSize int
+}
+
+// Result is a Solve outcome.
+type Result struct {
+	// Dist is the distance matrix in the input vertex order:
+	// Dist.At(u, v) is the shortest-path weight, Inf if unreachable.
+	Dist *Matrix
+	// Algorithm is the solver that actually ran.
+	Algorithm Algorithm
+	// Report carries the simulated communication costs (distributed
+	// solvers only; zero-valued otherwise).
+	Report Report
+	// Ops is the semiring operation count (sequential solvers only).
+	Ops int64
+	// SeparatorSize is |S|, the top-level separator (solvers that
+	// compute a nested dissection only).
+	SeparatorSize int
+}
+
+// ValidProcessorCounts lists the machine sizes usable by the sparse
+// algorithm up to max: p = (2^h − 1)².
+var ValidProcessorCounts = apsp.ValidSparseP
+
+// Solve computes all-pairs shortest paths for g.
+func Solve(g *Graph, opts Options) (*Result, error) {
+	if opts.Algorithm == "" {
+		opts.Algorithm = Auto
+	}
+	if opts.TreeHeight == 0 {
+		opts.TreeHeight = 3
+	}
+	if opts.CyclicFactor == 0 {
+		opts.CyclicFactor = 4
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 64
+	}
+	alg := opts.Algorithm
+	if alg == Auto {
+		switch {
+		case opts.P <= 1:
+			alg = SeqSuperFW
+		default:
+			if _, err := apsp.HeightForP(opts.P); err == nil {
+				alg = Sparse2D
+			} else {
+				alg = DenseDC
+			}
+		}
+	}
+	switch alg {
+	case Sparse2D:
+		r, err := apsp.SparseAPSP(g, opts.P, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dist: r.Dist, Algorithm: alg, Report: r.Report,
+			SeparatorSize: r.Layout.ND.SeparatorSize()}, nil
+	case DenseDC:
+		r, err := apsp.DCAPSP(g, opts.P, opts.CyclicFactor)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dist: r.Dist, Algorithm: alg, Report: r.Report}, nil
+	case Dense2DFW:
+		r, err := apsp.Dist2DFW(g, opts.P)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dist: r.Dist, Algorithm: alg, Report: r.Report}, nil
+	case Dense1DFW:
+		r, err := apsp.Dist1DFW(g, opts.P)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dist: r.Dist, Algorithm: alg, Report: r.Report}, nil
+	case SeqFW:
+		d, ops := apsp.FloydWarshall(g)
+		return &Result{Dist: d, Algorithm: alg, Ops: ops}, nil
+	case SeqBlockedFW:
+		d, ops := apsp.BlockedFloydWarshall(g, opts.BlockSize)
+		return &Result{Dist: d, Algorithm: alg, Ops: ops}, nil
+	case SeqSuperFW:
+		r, err := apsp.SuperFW(g, opts.TreeHeight, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dist: r.Dist, Algorithm: alg, Ops: r.Ops,
+			SeparatorSize: r.Layout.ND.SeparatorSize()}, nil
+	case SeqSuperFWParallel:
+		ly, err := apsp.NewLayout(g, opts.TreeHeight, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		d, ops := apsp.SuperFWParallel(ly)
+		return &Result{Dist: d, Algorithm: alg, Ops: ops,
+			SeparatorSize: ly.ND.SeparatorSize()}, nil
+	case SeqJohnson:
+		d, err := apsp.Johnson(g)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dist: d, Algorithm: alg}, nil
+	default:
+		return nil, fmt.Errorf("sparseapsp: unknown algorithm %q", alg)
+	}
+}
+
+// SeparatorSize computes |S| for g: the size of the top-level vertex
+// separator found by one bisection round — the parameter the paper's
+// bounds are stated in.
+func SeparatorSize(g *Graph, seed int64) (int, error) {
+	nd, err := partition.NestedDissection(g, 2, seed)
+	if err != nil {
+		return 0, err
+	}
+	return nd.SeparatorSize(), nil
+}
+
+// PathResult carries distances plus successor structure for extracting
+// actual shortest paths (see SolveWithPaths).
+type PathResult = apsp.PathResult
+
+// SolveWithPaths computes APSP with path reconstruction: the returned
+// result answers Path(u, v) queries in time proportional to the path
+// length. Sequential (classical Floyd–Warshall with successors).
+func SolveWithPaths(g *Graph) *PathResult {
+	return apsp.FloydWarshallPaths(g)
+}
+
+// VerifyDistances cheaply certifies that d looks like a correct APSP
+// distance matrix for g (zero diagonal, symmetry, edge bounds,
+// triangle inequality, reachability structure). It does not recompute
+// APSP; see internal/apsp.VerifyDistances for the exact checks.
+func VerifyDistances(g *Graph, d *Matrix) error {
+	return apsp.VerifyDistances(g, d)
+}

@@ -1,0 +1,110 @@
+package sparseapsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveAutoSelection(t *testing.T) {
+	g := Grid2D(6, 6, UnitWeights)
+	cases := []struct {
+		p    int
+		want Algorithm
+	}{
+		{0, SeqSuperFW},
+		{1, SeqSuperFW},
+		{9, Sparse2D},
+		{49, Sparse2D},
+		{16, DenseDC}, // square but not (2^h-1)²
+	}
+	for _, c := range cases {
+		res, err := Solve(g, Options{P: c.p})
+		if err != nil {
+			t.Errorf("p=%d: %v", c.p, err)
+			continue
+		}
+		if res.Algorithm != c.want {
+			t.Errorf("p=%d: picked %s, want %s", c.p, res.Algorithm, c.want)
+		}
+	}
+}
+
+func TestSolveAllAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomGNP(40, 0.1, RandomWeights(rng, 1, 10), rng)
+	ref, err := Solve(g, Options{Algorithm: SeqFW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []struct {
+		a Algorithm
+		p int
+	}{
+		{SeqBlockedFW, 0}, {SeqSuperFW, 0}, {SeqSuperFWParallel, 0}, {SeqJohnson, 0},
+		{Sparse2D, 9}, {DenseDC, 9}, {Dense2DFW, 9}, {Dense1DFW, 9},
+	}
+	for _, c := range algs {
+		res, err := Solve(g, Options{Algorithm: c.a, P: c.p})
+		if err != nil {
+			t.Errorf("%s: %v", c.a, err)
+			continue
+		}
+		if !res.Dist.EqualTol(ref.Dist, 1e-9) {
+			t.Errorf("%s: diverges from classical FW", c.a)
+		}
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	if _, err := Solve(NewGraph(2), Options{Algorithm: "nope"}); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}
+
+func TestSolveSparseReportsSeparator(t *testing.T) {
+	g := Grid2D(12, 12, UnitWeights)
+	res, err := Solve(g, Options{P: 9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeparatorSize <= 0 || res.SeparatorSize > 36 {
+		t.Errorf("separator size = %d", res.SeparatorSize)
+	}
+	if res.Report.Critical.Bandwidth == 0 {
+		t.Error("no communication recorded")
+	}
+}
+
+func TestPublicGraphAPI(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 2)
+	res, err := Solve(g, Options{Algorithm: SeqJohnson})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist.At(0, 2) != 4 {
+		t.Errorf("d(0,2) = %v, want 4", res.Dist.At(0, 2))
+	}
+	if !math.IsInf(Inf, 1) {
+		t.Error("Inf is not +infinity")
+	}
+}
+
+func TestValidProcessorCountsExported(t *testing.T) {
+	got := ValidProcessorCounts(250)
+	if len(got) != 4 || got[3] != 225 {
+		t.Errorf("ValidProcessorCounts(250) = %v", got)
+	}
+}
+
+func TestSeparatorSizeGrid(t *testing.T) {
+	s, err := SeparatorSize(Grid2D(16, 16, UnitWeights), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s > 32 {
+		t.Errorf("grid separator = %d, want Θ(16)", s)
+	}
+}

@@ -1,0 +1,153 @@
+// Command apspbench regenerates the reproduction experiments of
+// DESIGN.md: the Table 2 comparisons (memory, bandwidth, latency), the
+// Section 5.5 reduction factors, the Section 5.4.4 preprocessing cost,
+// the sparsity crossover, the operation-count checks and the Figure 1
+// reordering demo.
+//
+// Usage:
+//
+//	apspbench -exp all
+//	apspbench -exp table2-latency -sides 16,24,32 -ps 9,49,225
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sparseapsp/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, opcount, perlevel, balance, weak, strong, fig1")
+		sides = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
+		ps    = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
+		seed  = flag.Int64("seed", 42, "nested-dissection seed")
+		cyc   = flag.Int("cyclic", 4, "DC-APSP block-cyclic factor")
+		xn    = flag.Int("crossover-n", 576, "crossover experiment graph size")
+		xp    = flag.Int("crossover-p", 49, "crossover experiment machine size")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		GridSides:    parseInts(*sides),
+		Ps:           parseInts(*ps),
+		Seed:         *seed,
+		CyclicFactor: *cyc,
+	}
+
+	needSuite := map[string]bool{"all": true, "table2-memory": true,
+		"table2-bandwidth": true, "table2-latency": true, "factors": true, "lower": true}
+
+	var suite *harness.Suite
+	if needSuite[*exp] {
+		fmt.Fprintf(os.Stderr, "running sweep: sides=%v ps=%v ...\n", cfg.GridSides, cfg.Ps)
+		var err error
+		suite, err = harness.NewSuite(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	show := func(name string, t *harness.Table, err error) {
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			return
+		}
+		t.Fprint(os.Stdout)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table2-memory":
+			show(name, suite.Table2Memory(), nil)
+		case "table2-bandwidth":
+			show(name, suite.Table2Bandwidth(), nil)
+		case "table2-latency":
+			show(name, suite.Table2Latency(), nil)
+		case "factors":
+			show(name, suite.ReductionFactors(), nil)
+		case "lower":
+			show(name, suite.LowerBounds(), nil)
+		case "sepcost":
+			t, err := harness.SeparatorCost(cfg)
+			show(name, t, err)
+		case "crossover":
+			t, err := harness.Crossover(cfg, *xn, *xp)
+			show(name, t, err)
+		case "opcount":
+			t, err := harness.OperationCounts(cfg)
+			show(name, t, err)
+		case "balance":
+			side := 1
+			for (side+1)*(side+1) <= *xn {
+				side++
+			}
+			t, err := harness.LoadBalance(cfg, side, *xp)
+			show(name, t, err)
+		case "weak":
+			t, err := harness.WeakScaling(cfg)
+			show(name, t, err)
+		case "strong":
+			side := 1
+			for (side+1)*(side+1) <= *xn {
+				side++
+			}
+			t, err := harness.StrongScaling(cfg, side)
+			show(name, t, err)
+		case "perlevel":
+			side := 1
+			for (side+1)*(side+1) <= *xn {
+				side++
+			}
+			t, err := harness.PerLevel(cfg, side, *xp)
+			show(name, t, err)
+		case "fig1":
+			t, err := harness.Figure1(*seed)
+			show(name, t, err)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table2-memory", "table2-bandwidth", "table2-latency",
+			"factors", "lower", "sepcost", "crossover", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apspbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Commcost: reproduce the paper's headline reduction factors on one
+// machine size. Section 5.5 claims the sparse algorithm lowers the
+// latency of 2D-DC-APSP by O(√p/log p) and the bandwidth by
+// O(min(√p/log²p, n²/(|S|²√p·log³p))). We measure both factors and
+// print them next to the formulas.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"sparseapsp"
+)
+
+func main() {
+	const p = 49
+	rng := rand.New(rand.NewSource(3))
+	for _, side := range []int{16, 24, 32} {
+		g := sparseapsp.Grid2D(side, side, sparseapsp.RandomWeights(rng, 1, 10))
+		n := g.N()
+
+		sp, err := sparseapsp.Solve(g, sparseapsp.Options{P: p, Algorithm: sparseapsp.Sparse2D, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dc, err := sparseapsp.Solve(g, sparseapsp.Options{P: p, Algorithm: sparseapsp.DenseDC, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		s := float64(sp.SeparatorSize)
+		logp := math.Log2(p)
+		sqrtp := math.Sqrt(p)
+		predictedL := sqrtp / logp
+		predictedB := math.Min(sqrtp/(logp*logp),
+			float64(n)*float64(n)/(s*s*sqrtp*logp*logp*logp))
+
+		measuredL := float64(dc.Report.Critical.Latency) / float64(sp.Report.Critical.Latency)
+		measuredB := float64(dc.Report.Critical.Bandwidth) / float64(sp.Report.Critical.Bandwidth)
+
+		fmt.Printf("n=%4d |S|=%2d p=%d:\n", n, sp.SeparatorSize, p)
+		fmt.Printf("  latency reduction:   measured %5.2fx   predicted O(√p/log p)=%.2f\n",
+			measuredL, predictedL)
+		fmt.Printf("  bandwidth reduction: measured %5.2fx   predicted O(min(...))=%.2f\n\n",
+			measuredB, predictedB)
+	}
+	fmt.Println("asymptotic predictions carry no constants; what should match is the trend")
+	fmt.Println("(both measured factors grow as the graph gets larger relative to its separator).")
+}

@@ -1,0 +1,78 @@
+// Ordering: walk the preprocessing pipeline of Section 4 on the
+// paper's own Figure 1 example — nested dissection, the reordered
+// adjacency matrix with empty cousin blocks, and the elimination trees
+// of Figure 2 — using the internal packages directly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparseapsp/internal/etree"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/partition"
+)
+
+func main() {
+	g := graph.Figure1Graph()
+	fmt.Printf("Figure 1 example graph: n=%d, m=%d\n\n", g.N(), g.M())
+
+	nd, err := partition.NestedDissection(g, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for lbl := 1; lbl <= nd.N; lbl++ {
+		role := "side"
+		if lbl == nd.N {
+			role = "separator"
+		}
+		fmt.Printf("supernode %d (%s): vertices %v\n", lbl, role, nd.Super[lbl])
+	}
+
+	pg := g.Permute(nd.Perm)
+	fmt.Println("\nreordered adjacency matrix (o = finite, . = +inf), Fig. 1d:")
+	for i := 0; i < pg.N(); i++ {
+		for j := 0; j < pg.N(); j++ {
+			switch {
+			case i == j:
+				fmt.Print(" o")
+			default:
+				if _, ok := pg.HasEdge(i, j); ok {
+					fmt.Print(" o")
+				} else {
+					fmt.Print(" .")
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if err := partition.CheckSeparation(g, nd); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nA(1,2) and A(2,1) are empty: the V1×V2 blocks carry no edges.")
+
+	// Figure 2: the 2-level eTree and the 3-level eTree from recursing.
+	fmt.Println("\nFigure 2a — 2-level eTree:")
+	printTree(etree.New(2))
+	fmt.Println("\nFigure 2b — 3-level eTree (recursive dissection of V1 and V2):")
+	printTree(etree.New(3))
+
+	tr := etree.New(3)
+	k := tr.LevelNodes(2)[0]
+	fmt.Printf("\nfor supernode %d: ancestors %v, descendants %v, cousins %v\n",
+		k, tr.Ancestors(k), tr.Descendants(k), tr.Cousins(k))
+}
+
+func printTree(tr *etree.Tree) {
+	for l := tr.H; l >= 1; l-- {
+		fmt.Printf("  level %d:", l)
+		for _, k := range tr.LevelNodes(l) {
+			if l == tr.H {
+				fmt.Printf("  %d(root)", k)
+			} else {
+				fmt.Printf("  %d(parent %d)", k, tr.Parent(k))
+			}
+		}
+		fmt.Println()
+	}
+}

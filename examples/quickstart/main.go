@@ -1,0 +1,48 @@
+// Quickstart: build a small weighted graph, solve APSP with the
+// paper's distributed sparse algorithm on a simulated 9-processor
+// machine, and read distances and communication costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparseapsp"
+)
+
+func main() {
+	// A small road network: two clusters of towns joined by one bridge
+	// (the bridge endpoints are exactly the kind of small vertex
+	// separator the algorithm exploits).
+	g := sparseapsp.NewGraph(8)
+	// west cluster
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 5)
+	g.AddEdge(2, 3, 8)
+	// bridge
+	g.AddEdge(3, 4, 10)
+	// east cluster
+	g.AddEdge(4, 5, 2)
+	g.AddEdge(4, 6, 3)
+	g.AddEdge(5, 6, 1)
+	g.AddEdge(5, 7, 7)
+	g.AddEdge(6, 7, 2)
+
+	res, err := sparseapsp.Solve(g, sparseapsp.Options{P: 9, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("algorithm: %s, separator size: %d\n", res.Algorithm, res.SeparatorSize)
+	fmt.Printf("d(0,7) = %g (west end to east end)\n", res.Dist.At(0, 7))
+	fmt.Printf("d(2,5) = %g\n", res.Dist.At(2, 5))
+
+	fmt.Println("\nfull distance matrix:")
+	fmt.Print(res.Dist.String())
+
+	rep := res.Report
+	fmt.Printf("simulated communication: %d messages and %d words along the critical path\n",
+		rep.Critical.Latency, rep.Critical.Bandwidth)
+}

@@ -1,0 +1,3 @@
+module sparseapsp
+
+go 1.22

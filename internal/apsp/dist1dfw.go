@@ -1,0 +1,94 @@
+package apsp
+
+import (
+	"fmt"
+
+	"sparseapsp/internal/comm"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// Dist1DFW is the unblocked distributed Floyd–Warshall in the lineage
+// of Jenq and Sahni (ICPP'87), the paper's Section 2 example of what
+// goes wrong without block structure: rows are striped over p
+// processors, and each of the n pivot iterations broadcasts pivot row
+// k from its owner to everyone. Latency is O(n·log p) — polynomial in
+// n, which is why Table 2's contenders all use blocked layouts. Kept
+// as the related-work baseline for the latency experiments.
+func Dist1DFW(g *graph.Graph, p int) (*DistResult, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("apsp: p=%d < 1", p)
+	}
+	n := g.N()
+	starts := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		starts[i] = i * n / p
+	}
+	// Row stripes, built driver-side.
+	stripes := make([]*semiring.Matrix, p)
+	adj := g.AdjacencyMatrix()
+	for r := 0; r < p; r++ {
+		lo, hi := starts[r], starts[r+1]
+		stripes[r] = semiring.FromSlice(hi-lo, n, adj[lo*n:hi*n])
+	}
+	ownerOf := func(k int) int {
+		r := 0
+		if n > 0 {
+			r = k * p / n
+		}
+		for k < starts[r] {
+			r--
+		}
+		for k >= starts[r+1] {
+			r++
+		}
+		return r
+	}
+
+	machine := comm.NewMachine(p)
+	group := make([]int, p)
+	for i := range group {
+		group[i] = i
+	}
+	err := machine.Run(func(ctx *comm.Ctx) {
+		me := ctx.Rank()
+		mine := stripes[me]
+		ctx.SetMemory(int64(len(mine.V)))
+		for k := 0; k < n; k++ {
+			owner := ownerOf(k)
+			var payload []float64
+			if owner == me {
+				lk := k - starts[me]
+				payload = append([]float64(nil), mine.V[lk*n:(lk+1)*n]...)
+			}
+			var row []float64
+			if p == 1 {
+				row = payload
+			} else {
+				row = ctx.Bcast(group, owner, k, payload)
+			}
+			// Relax every local row through pivot k.
+			var ops int64
+			for i := 0; i < mine.Rows; i++ {
+				dik := mine.V[i*n+k]
+				irow := mine.V[i*n : (i+1)*n]
+				for j, dkj := range row {
+					if s := dik + dkj; s < irow[j] {
+						irow[j] = s
+					}
+				}
+				ops += int64(n)
+			}
+			ctx.AddFlops(ops)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("apsp: 1D FW solver failed: %w", err)
+	}
+
+	out := semiring.NewMatrix(n, n)
+	for r := 0; r < p; r++ {
+		copy(out.V[starts[r]*n:starts[r+1]*n], stripes[r].V)
+	}
+	return &DistResult{Dist: out, Report: machine.Report(), P: p, Traffic: machine.Traffic()}, nil
+}

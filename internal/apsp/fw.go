@@ -1,0 +1,71 @@
+// Package apsp implements the all-pairs shortest-paths algorithms of
+// the paper and its related work:
+//
+// Sequential baselines:
+//   - FloydWarshall — the classical O(n³) dynamic program [Floyd 62,
+//     Warshall 62], the correctness oracle for everything else.
+//   - BlockedFloydWarshall — the cache-blocked variant of Section 3.3.
+//   - Johnson — Dijkstra from every source [Johnson 77].
+//   - SuperFW — the supernodal sparse APSP of Sao et al. (PPoPP'20):
+//     nested-dissection ordering + eTree-guided elimination, skipping
+//     cousin-block computation.
+//
+// Distributed algorithms (on the simulated machine of internal/comm):
+//   - Dist1DFW — unblocked row-striped Floyd–Warshall (Jenq–Sahni
+//     lineage), the Θ(n·log p)-latency strawman of Section 2.
+//   - Dist2DFW — blocked Floyd–Warshall on a √p×√p grid in block
+//     layout.
+//   - DCAPSP — the divide-and-conquer 2D-DC-APSP of Solomonik, Buluç,
+//     Demmel (IPDPS'13) on a block-cyclic layout.
+//   - SparseAPSP — the paper's 2D-SPARSE-APSP (Algorithm 1), with the
+//     Corollary 5.5 unit mapping or the Section 5.2.2 sequential
+//     strategy (SparseOptions.R4Strategy), per-level cost breakdown,
+//     and pluggable orderings (e.g. from partition.DistributedND).
+//
+// Extras: FloydWarshallPaths reconstructs actual shortest paths, and
+// VerifyDistances certifies a distance matrix without recomputation.
+package apsp
+
+import (
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// FloydWarshall computes the APSP distance matrix of g with the
+// classical algorithm. The second return value is the number of
+// semiring operations performed.
+func FloydWarshall(g *graph.Graph) (*semiring.Matrix, int64) {
+	n := g.N()
+	m := semiring.FromSlice(n, n, g.AdjacencyMatrix())
+	ops := semiring.ClassicalFW(m)
+	return m, ops
+}
+
+// BlockedFloydWarshall computes APSP with the blocked algorithm of
+// Section 3.3 using block size b.
+func BlockedFloydWarshall(g *graph.Graph, b int) (*semiring.Matrix, int64) {
+	n := g.N()
+	m := semiring.FromSlice(n, n, g.AdjacencyMatrix())
+	ops := semiring.BlockedFW(m, b)
+	return m, ops
+}
+
+// FloydWarshallFull is FloydWarshall with no empty-entry skipping: it
+// always performs exactly n³ operations. The operation-count
+// experiments (Lemma 6.4, SuperFW's reduction factor) use it as the
+// classical-cost reference.
+func FloydWarshallFull(g *graph.Graph) (*semiring.Matrix, int64) {
+	n := g.N()
+	m := semiring.FromSlice(n, n, g.AdjacencyMatrix())
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			mik := m.At(i, k)
+			for j := 0; j < n; j++ {
+				if s := mik + m.At(k, j); s < m.At(i, j) {
+					m.Set(i, j, s)
+				}
+			}
+		}
+	}
+	return m, int64(n) * int64(n) * int64(n)
+}

@@ -1,0 +1,78 @@
+package apsp
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// Johnson computes APSP by running Dijkstra from every source — the
+// theoretically faster choice for sparse graphs (Section 2), used here
+// as an independent correctness oracle for the matrix-based solvers.
+// For undirected graphs a negative edge is a negative cycle, so
+// negative weights are rejected (the Bellman–Ford reweighting step of
+// the directed algorithm has nothing it could fix).
+func Johnson(g *graph.Graph) (*semiring.Matrix, error) {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		for _, e := range g.Adj(v) {
+			if e.W < 0 {
+				return nil, fmt.Errorf("apsp: negative edge {%d,%d} weight %g is a negative cycle in an undirected graph", v, e.To, e.W)
+			}
+		}
+	}
+	dist := semiring.NewMatrix(n, n)
+	d := make([]float64, n)
+	for src := 0; src < n; src++ {
+		dijkstra(g, src, d)
+		copy(dist.V[src*n:(src+1)*n], d)
+	}
+	return dist, nil
+}
+
+// dijkstra fills d with single-source distances from src using a binary
+// heap; unreachable vertices get Inf.
+func dijkstra(g *graph.Graph, src int, d []float64) {
+	for i := range d {
+		d[i] = semiring.Inf
+	}
+	d[src] = 0
+	done := make([]bool, len(d))
+	pq := &distHeap{items: []distItem{{v: src, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		for _, e := range g.Adj(it.v) {
+			if nd := it.d + e.W; nd < d[e.To] {
+				d[e.To] = nd
+				heap.Push(pq, distItem{v: e.To, d: nd})
+			}
+		}
+	}
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap struct {
+	items []distItem
+}
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

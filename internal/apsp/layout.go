@@ -1,0 +1,119 @@
+package apsp
+
+import (
+	"fmt"
+
+	"sparseapsp/internal/etree"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/partition"
+	"sparseapsp/internal/semiring"
+)
+
+// Layout is the supernodal block structure of Section 5.1: a nested
+// dissection of the input graph into N = 2^h − 1 supernodes, the
+// matching elimination tree, and the permuted graph whose adjacency
+// matrix the block distance matrix is initialized from. Block (i, j)
+// is the |V_i| × |V_j| submatrix of the permuted distance matrix.
+type Layout struct {
+	G    *graph.Graph      // original graph
+	PG   *graph.Graph      // permuted (reordered) graph
+	ND   *partition.Result // the dissection: supernodes, sizes, permutation
+	Tree *etree.Tree       // eTree over supernode labels 1..N
+}
+
+// NewLayout runs nested dissection with h levels on g.
+func NewLayout(g *graph.Graph, h int, seed int64) (*Layout, error) {
+	nd, err := partition.NestedDissection(g, h, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewLayoutFromOrdering(g, nd), nil
+}
+
+// NewLayoutFromOrdering wraps an existing nested-dissection result —
+// for example one computed by partition.DistributedND — as a layout
+// usable by the solvers.
+func NewLayoutFromOrdering(g *graph.Graph, nd *partition.Result) *Layout {
+	return &Layout{
+		G:    g,
+		PG:   g.Permute(nd.Perm),
+		ND:   nd,
+		Tree: etree.New(nd.H),
+	}
+}
+
+// Blocks builds the initial distance-matrix blocks: blocks[i][j]
+// (1-based supernode labels) holds edge weights between supernodes i
+// and j, Inf elsewhere, 0 on the global diagonal. The total storage is
+// exactly n² words spread over N² blocks.
+func (ly *Layout) Blocks() [][]*semiring.Matrix {
+	nSuper := ly.ND.N
+	blocks := make([][]*semiring.Matrix, nSuper+1)
+	for i := 1; i <= nSuper; i++ {
+		blocks[i] = make([]*semiring.Matrix, nSuper+1)
+		for j := 1; j <= nSuper; j++ {
+			blocks[i][j] = semiring.NewMatrix(ly.ND.Sizes[i], ly.ND.Sizes[j])
+		}
+		diag := blocks[i][i]
+		for d := 0; d < diag.Rows; d++ {
+			diag.Set(d, d, 0)
+		}
+	}
+	for v := 0; v < ly.PG.N(); v++ {
+		sv := ly.ND.SupernodeOf(v)
+		lv := v - ly.ND.Starts[sv]
+		for _, e := range ly.PG.Adj(v) {
+			su := ly.ND.SupernodeOf(e.To)
+			lu := e.To - ly.ND.Starts[su]
+			if e.W < blocks[sv][su].At(lv, lu) {
+				blocks[sv][su].Set(lv, lu, e.W)
+			}
+		}
+	}
+	return blocks
+}
+
+// AssembleOriginal reassembles a full distance matrix in the original
+// vertex order from the block matrix.
+func (ly *Layout) AssembleOriginal(blocks [][]*semiring.Matrix) *semiring.Matrix {
+	n := ly.G.N()
+	out := semiring.NewMatrix(n, n)
+	for u := 0; u < n; u++ {
+		pu := ly.ND.Perm[u]
+		su := ly.ND.SupernodeOf(pu)
+		lu := pu - ly.ND.Starts[su]
+		for v := 0; v < n; v++ {
+			pv := ly.ND.Perm[v]
+			sv := ly.ND.SupernodeOf(pv)
+			lv := pv - ly.ND.Starts[sv]
+			out.Set(u, v, blocks[su][sv].At(lu, lv))
+		}
+	}
+	return out
+}
+
+// HeightForP returns the eTree height for a machine of p ranks under
+// the block layout (√p = 2^h − 1), or an error for invalid p.
+func HeightForP(p int) (int, error) {
+	s := 0
+	for (s+1)*(s+1) <= p {
+		s++
+	}
+	if s*s != p {
+		return 0, fmt.Errorf("apsp: p=%d is not a perfect square", p)
+	}
+	return etree.HeightForGrid(s)
+}
+
+// ValidSparseP reports the processor counts ≤ max usable by the sparse
+// algorithm: p = (2^h − 1)².
+func ValidSparseP(max int) []int {
+	var out []int
+	for h := 1; ; h++ {
+		s := (1 << h) - 1
+		if s*s > max {
+			return out
+		}
+		out = append(out, s*s)
+	}
+}

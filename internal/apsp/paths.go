@@ -1,0 +1,95 @@
+package apsp
+
+import (
+	"fmt"
+	"math"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// PathResult is a distance matrix plus the successor structure needed
+// to reconstruct actual shortest paths — what a downstream user of an
+// APSP library typically wants on top of the distances.
+type PathResult struct {
+	Dist *semiring.Matrix
+	n    int
+	next []int32 // next[u*n+v]: vertex after u on a shortest u→v path, -1 if none
+}
+
+// FloydWarshallPaths runs the classical algorithm while maintaining
+// successors, so Path can extract any shortest path in O(path length).
+func FloydWarshallPaths(g *graph.Graph) *PathResult {
+	n := g.N()
+	d := semiring.FromSlice(n, n, g.AdjacencyMatrix())
+	next := make([]int32, n*n)
+	for i := range next {
+		next[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		next[u*n+u] = int32(u)
+		for _, e := range g.Adj(u) {
+			if float64(e.W) <= d.At(u, e.To) {
+				next[u*n+e.To] = int32(e.To)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d.At(i, k)
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if s := dik + d.At(k, j); s < d.At(i, j) {
+					d.Set(i, j, s)
+					next[i*n+j] = next[i*n+k]
+				}
+			}
+		}
+	}
+	return &PathResult{Dist: d, n: n, next: next}
+}
+
+// Path returns the vertices of a shortest u→v path, inclusive of both
+// endpoints, or nil if v is unreachable from u. For u == v it returns
+// [u].
+func (p *PathResult) Path(u, v int) []int {
+	if u < 0 || u >= p.n || v < 0 || v >= p.n {
+		panic(fmt.Sprintf("apsp: path query (%d,%d) outside [0,%d)", u, v, p.n))
+	}
+	if u == v {
+		return []int{u}
+	}
+	if p.next[u*p.n+v] == -1 {
+		return nil
+	}
+	path := []int{u}
+	cur := u
+	for cur != v {
+		cur = int(p.next[cur*p.n+v])
+		path = append(path, cur)
+		if len(path) > p.n {
+			panic("apsp: successor structure is cyclic (corrupted)")
+		}
+	}
+	return path
+}
+
+// PathWeight sums the edge weights of path in g, returning Inf for an
+// invalid (edge-missing) or empty path. Useful for verifying returned
+// paths against the distance matrix.
+func PathWeight(g *graph.Graph, path []int) float64 {
+	if len(path) == 0 {
+		return semiring.Inf
+	}
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := g.HasEdge(path[i], path[i+1])
+		if !ok {
+			return semiring.Inf
+		}
+		total += w
+	}
+	return total
+}

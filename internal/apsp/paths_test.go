@@ -1,0 +1,145 @@
+package apsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparseapsp/internal/graph"
+)
+
+func TestDist1DFWMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for name, g := range testGraphs(rng) {
+		want, _ := FloydWarshall(g)
+		for _, p := range []int{1, 3, 7} {
+			res, err := Dist1DFW(g, p)
+			if err != nil {
+				t.Errorf("%s p=%d: %v", name, p, err)
+				continue
+			}
+			if !res.Dist.EqualTol(want, 1e-9) {
+				t.Errorf("%s p=%d: Dist1DFW diverges", name, p)
+			}
+		}
+	}
+}
+
+// The Section 2 point about Jenq–Sahni: without blocking, latency is
+// Θ(n·log p) — it must grow linearly with n, unlike every blocked
+// algorithm.
+func TestDist1DFWLatencyGrowsWithN(t *testing.T) {
+	lat := func(side int) int64 {
+		g := graph.Grid2D(side, side, graph.UnitWeights)
+		res, err := Dist1DFW(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.Critical.Latency
+	}
+	l10, l20 := lat(10), lat(20)
+	// n quadruples (100 -> 400): latency should too, within slack.
+	if l20 < 3*l10 {
+		t.Errorf("1D FW latency grew too slowly: %d -> %d", l10, l20)
+	}
+	// And it must dwarf the blocked 2D variant's latency.
+	g := graph.Grid2D(20, 20, graph.UnitWeights)
+	blocked, err := Dist2DFW(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l20 <= 5*blocked.Report.Critical.Latency {
+		t.Errorf("1D latency %d not far above blocked %d", l20, blocked.Report.Critical.Latency)
+	}
+}
+
+func TestDist1DFWRejectsBadP(t *testing.T) {
+	if _, err := Dist1DFW(graph.New(3), 0); err == nil {
+		t.Error("expected error for p=0")
+	}
+}
+
+func TestFloydWarshallPathsSmall(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 10)
+	pr := FloydWarshallPaths(g)
+	path := pr.Path(0, 3)
+	want := []int{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if w := PathWeight(g, path); w != 4 {
+		t.Errorf("path weight = %v, want 4", w)
+	}
+}
+
+func TestPathEdgeCases(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	pr := FloydWarshallPaths(g)
+	if p := pr.Path(0, 0); len(p) != 1 || p[0] != 0 {
+		t.Errorf("self path = %v", p)
+	}
+	if p := pr.Path(0, 2); p != nil {
+		t.Errorf("unreachable path = %v, want nil", p)
+	}
+	if w := PathWeight(g, nil); !math.IsInf(w, 1) {
+		t.Error("empty path weight should be Inf")
+	}
+	if w := PathWeight(g, []int{0, 2}); !math.IsInf(w, 1) {
+		t.Error("invalid path weight should be Inf")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range query")
+			}
+		}()
+		pr.Path(0, 5)
+	}()
+}
+
+// Property: every reconstructed path is a real path in the graph whose
+// weight equals the distance matrix entry.
+func TestQuickPathsAreShortest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := graph.RandomGNP(n, 3.0/float64(n), graph.RandomWeights(rng, 1, 10), rng)
+		pr := FloydWarshallPaths(g)
+		ref, _ := FloydWarshall(g)
+		if !pr.Dist.EqualTol(ref, 1e-9) {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			path := pr.Path(u, v)
+			d := pr.Dist.At(u, v)
+			if math.IsInf(d, 1) {
+				if path != nil {
+					return false
+				}
+				continue
+			}
+			if len(path) == 0 || path[0] != u || path[len(path)-1] != v {
+				return false
+			}
+			if math.Abs(PathWeight(g, path)-d) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

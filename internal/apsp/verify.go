@@ -1,0 +1,76 @@
+package apsp
+
+import (
+	"fmt"
+	"math"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// VerifyDistances checks that d is a plausible APSP distance matrix for
+// g without recomputing APSP: square of the right size, zero diagonal,
+// symmetric, bounded above by direct edges, closed under the triangle
+// inequality, and with Inf exactly between different connected
+// components. It returns the first violation found, or nil. Used by
+// the examples and available to downstream users as a cheap O(n³)
+// certificate (the triangle check dominates).
+func VerifyDistances(g *graph.Graph, d *semiring.Matrix) error {
+	n := g.N()
+	if d.Rows != n || d.Cols != n {
+		return fmt.Errorf("apsp: distance matrix is %dx%d for %d vertices", d.Rows, d.Cols, n)
+	}
+	for i := 0; i < n; i++ {
+		if d.At(i, i) != 0 {
+			return fmt.Errorf("apsp: d(%d,%d) = %v, want 0", i, i, d.At(i, i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dij, dji := d.At(i, j), d.At(j, i)
+			if dij != dji && !(math.IsInf(dij, 1) && math.IsInf(dji, 1)) {
+				return fmt.Errorf("apsp: asymmetric distances d(%d,%d)=%v, d(%d,%d)=%v", i, j, dij, j, i, dji)
+			}
+		}
+	}
+	// Direct edges upper-bound distances.
+	for _, e := range g.Edges() {
+		if d.At(e.U, e.V) > e.W+1e-9 {
+			return fmt.Errorf("apsp: d(%d,%d) = %v exceeds edge weight %v", e.U, e.V, d.At(e.U, e.V), e.W)
+		}
+	}
+	// Triangle inequality over all triples.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d.At(i, k)
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dik+d.At(k, j) < d.At(i, j)-1e-9 {
+					return fmt.Errorf("apsp: triangle violation d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
+						i, j, d.At(i, j), i, k, k, j, dik+d.At(k, j))
+				}
+			}
+		}
+	}
+	// Reachability structure: finite iff same component.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for c, vs := range g.Components() {
+		for _, v := range vs {
+			comp[v] = c
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			finite := !math.IsInf(d.At(i, j), 1)
+			if finite != (comp[i] == comp[j]) {
+				return fmt.Errorf("apsp: d(%d,%d) finiteness %v contradicts component structure", i, j, finite)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package apsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+func TestVerifyDistancesAcceptsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for name, g := range testGraphs(rng) {
+		d, _ := FloydWarshall(g)
+		if err := VerifyDistances(g, d); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyDistancesCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	g := graph.RandomGNP(20, 0.2, graph.RandomWeights(rng, 1, 9), rng)
+	base, _ := FloydWarshall(g)
+
+	corruptions := []struct {
+		name string
+		mut  func(d *semiring.Matrix)
+	}{
+		{"diagonal", func(d *semiring.Matrix) { d.Set(3, 3, 1) }},
+		{"asymmetry", func(d *semiring.Matrix) { d.Set(2, 5, d.At(2, 5)+1) }},
+		{"edge-bound", func(d *semiring.Matrix) {
+			e := g.Edges()[0]
+			d.Set(e.U, e.V, e.W+5)
+			d.Set(e.V, e.U, e.W+5)
+		}},
+		{"fake-inf", func(d *semiring.Matrix) {
+			d.Set(1, 7, semiring.Inf)
+			d.Set(7, 1, semiring.Inf)
+		}},
+		{"too-short", func(d *semiring.Matrix) {
+			// Shorter than any path can be: breaks triangle via reverse
+			// direction or edge bound... use a negative entry.
+			d.Set(4, 9, -1)
+			d.Set(9, 4, -1)
+		}},
+	}
+	for _, c := range corruptions {
+		d := base.Clone()
+		c.mut(d)
+		if err := VerifyDistances(g, d); err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+		}
+	}
+	// Wrong shape.
+	if err := VerifyDistances(g, semiring.NewMatrix(3, 3)); err == nil {
+		t.Error("shape mismatch not detected")
+	}
+}

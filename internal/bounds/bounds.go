@@ -1,0 +1,123 @@
+// Package bounds provides the closed-form asymptotic cost formulas of
+// the paper — the upper bounds of Section 5.4, the lower bounds of
+// Section 6, and the reduction factors of Sections 1 and 5.5 — so the
+// experiments can plot measured costs against the curves of Table 2.
+//
+// Every function returns the formula with constant 1 (asymptotics have
+// no constants); callers compare *shapes* — ratios across machine or
+// problem sizes — never absolute values.
+package bounds
+
+import "math"
+
+// log2 returns log₂(x) clamped below at 1, the usual convention that
+// keeps O(log p) factors meaningful at p values where log p < 1.
+func log2(x float64) float64 {
+	l := math.Log2(x)
+	if l < 1 {
+		return 1
+	}
+	return l
+}
+
+// SparseMemory is the per-process memory of 2D-SPARSE-APSP
+// (Section 5.4.1): O(n²/p + |S|²) words.
+func SparseMemory(n, p, s int) float64 {
+	return float64(n)*float64(n)/float64(p) + float64(s)*float64(s)
+}
+
+// SparseBandwidthUpper is the bandwidth cost of 2D-SPARSE-APSP
+// (Theorem 5.10): O(n²·log²p/p + |S|²·log²p).
+func SparseBandwidthUpper(n, p, s int) float64 {
+	l2 := log2(float64(p))
+	return float64(n)*float64(n)*l2*l2/float64(p) + float64(s)*float64(s)*l2*l2
+}
+
+// SparseLatencyUpper is the latency cost of 2D-SPARSE-APSP
+// (Theorem 5.7): O(log²p).
+func SparseLatencyUpper(p int) float64 {
+	l := log2(float64(p))
+	return l * l
+}
+
+// DenseMemory is the per-process memory of 2D-DC-APSP: O(n²/p).
+func DenseMemory(n, p int) float64 {
+	return float64(n) * float64(n) / float64(p)
+}
+
+// DenseBandwidthUpper is the bandwidth cost of 2D-DC-APSP: O(n²/√p).
+func DenseBandwidthUpper(n, p int) float64 {
+	return float64(n) * float64(n) / math.Sqrt(float64(p))
+}
+
+// DenseLatencyUpper is the latency cost of 2D-DC-APSP: O(√p·log²p).
+func DenseLatencyUpper(p int) float64 {
+	l := log2(float64(p))
+	return math.Sqrt(float64(p)) * l * l
+}
+
+// MemoryLower is the per-process memory lower bound Ω(n²/p) (Table 2).
+func MemoryLower(n, p int) float64 {
+	return float64(n) * float64(n) / float64(p)
+}
+
+// BandwidthLowerSparse is the sparse-graph bandwidth lower bound of
+// Theorem 6.5: Ω(n²/p + |S|²).
+func BandwidthLowerSparse(n, p, s int) float64 {
+	return float64(n)*float64(n)/float64(p) + float64(s)*float64(s)
+}
+
+// LatencyLowerSparse is the sparse-graph latency lower bound of
+// Theorem 6.5: Ω(log²p).
+func LatencyLowerSparse(p int) float64 {
+	l := log2(float64(p))
+	return l * l
+}
+
+// BandwidthLowerDense is the dense-graph bandwidth lower bound
+// Ω(n²/√p) [Ballard et al.].
+func BandwidthLowerDense(n, p int) float64 {
+	return float64(n) * float64(n) / math.Sqrt(float64(p))
+}
+
+// LatencyLowerDense is the dense-graph latency lower bound Ω(√p).
+func LatencyLowerDense(p int) float64 {
+	return math.Sqrt(float64(p))
+}
+
+// OperationsLower is the sparse APSP operation-count lower bound of
+// Lemma 6.4: Ω(n²·|S|).
+func OperationsLower(n, s int) float64 {
+	return float64(n) * float64(n) * float64(s)
+}
+
+// LatencyReductionFactor is the paper's claimed latency advantage of
+// the sparse algorithm over 2D-DC-APSP (Section 5.5): O(√p/log p)
+// (the abstract's O(√p) up to the log factor the discussion keeps).
+func LatencyReductionFactor(p int) float64 {
+	return math.Sqrt(float64(p)) / log2(float64(p))
+}
+
+// BandwidthReductionFactor is the claimed bandwidth advantage
+// (Section 5.5): O(min(√p/log²p, n²/(|S|²·√p·log³p))).
+func BandwidthReductionFactor(n, p, s int) float64 {
+	l := log2(float64(p))
+	sq := math.Sqrt(float64(p))
+	a := sq / (l * l)
+	b := float64(n) * float64(n) / (float64(s) * float64(s) * sq * l * l * l)
+	return math.Min(a, b)
+}
+
+// SeparatorBandwidth is the cost of computing all separators
+// (Section 5.4.4): O(n·log²p/√p) — subsumed by the APSP cost.
+func SeparatorBandwidth(n, p int) float64 {
+	l := log2(float64(p))
+	return float64(n) * l * l / math.Sqrt(float64(p))
+}
+
+// SeparatorLatency is the latency of computing all separators:
+// O(log²p).
+func SeparatorLatency(p int) float64 {
+	l := log2(float64(p))
+	return l * l
+}

@@ -1,0 +1,111 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecificValues(t *testing.T) {
+	// p = 16: log²p = 16, √p = 4.
+	if got := SparseLatencyUpper(16); got != 16 {
+		t.Errorf("SparseLatencyUpper(16) = %v, want 16", got)
+	}
+	if got := DenseLatencyUpper(16); got != 64 {
+		t.Errorf("DenseLatencyUpper(16) = %v, want 64", got)
+	}
+	if got := LatencyLowerDense(16); got != 4 {
+		t.Errorf("LatencyLowerDense(16) = %v, want 4", got)
+	}
+	if got := SparseMemory(100, 4, 10); got != 2600 {
+		t.Errorf("SparseMemory = %v, want 2600", got)
+	}
+	if got := BandwidthLowerSparse(100, 4, 10); got != 2600 {
+		t.Errorf("BandwidthLowerSparse = %v, want 2600", got)
+	}
+	if got := OperationsLower(10, 3); got != 300 {
+		t.Errorf("OperationsLower = %v, want 300", got)
+	}
+}
+
+func TestLogClampAtSmallP(t *testing.T) {
+	// p = 1 and p = 2 must not zero out the polylog factors.
+	if got := SparseLatencyUpper(1); got != 1 {
+		t.Errorf("SparseLatencyUpper(1) = %v, want 1", got)
+	}
+	if got := SparseBandwidthUpper(10, 1, 2); got <= 0 {
+		t.Errorf("SparseBandwidthUpper(·, 1, ·) = %v, want > 0", got)
+	}
+}
+
+// Upper bounds dominate the matching lower bounds (the near-optimality
+// statement of the abstract).
+func TestUppersDominateLowers(t *testing.T) {
+	f := func(seedN, seedP, seedS uint8) bool {
+		n := 10 + int(seedN)*10
+		ps := []int{1, 9, 49, 225, 961}
+		p := ps[int(seedP)%len(ps)]
+		s := 1 + int(seedS)%(n/2)
+		if SparseBandwidthUpper(n, p, s) < BandwidthLowerSparse(n, p, s) {
+			return false
+		}
+		if SparseLatencyUpper(p) < LatencyLowerSparse(p) {
+			return false
+		}
+		if DenseBandwidthUpper(n, p) < BandwidthLowerDense(n, p) {
+			return false
+		}
+		if DenseLatencyUpper(p) < LatencyLowerDense(p) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The sparse algorithm's predicted advantage grows with p for
+// small-separator graphs (Section 5.5), and the bandwidth advantage
+// collapses when |S| approaches n/√p.
+func TestReductionFactorShapes(t *testing.T) {
+	if LatencyReductionFactor(961) <= LatencyReductionFactor(49) {
+		t.Error("latency reduction should grow with p")
+	}
+	n := 10000
+	small := BandwidthReductionFactor(n, 225, 100)  // |S| = √n
+	large := BandwidthReductionFactor(n, 225, 3000) // |S| huge
+	if small <= large {
+		t.Errorf("bandwidth advantage should shrink with |S|: %v vs %v", small, large)
+	}
+	if large >= 1 {
+		t.Errorf("with a huge separator the claimed advantage %v should vanish", large)
+	}
+}
+
+// The separator-computation cost must be subsumed by the APSP cost
+// (the Section 5.4.4 claim) for any reasonable n, p.
+func TestSeparatorCostSubsumed(t *testing.T) {
+	for _, p := range []int{9, 49, 225} {
+		for _, n := range []int{1000, 10000} {
+			s := int(math.Sqrt(float64(n)))
+			if SeparatorBandwidth(n, p) > SparseBandwidthUpper(n, p, s) {
+				t.Errorf("n=%d p=%d: separator bandwidth exceeds APSP bandwidth", n, p)
+			}
+			if SeparatorLatency(p) > SparseLatencyUpper(p) {
+				t.Errorf("n=%d p=%d: separator latency exceeds APSP latency", n, p)
+			}
+		}
+	}
+}
+
+// Scaling sanity: sparse bandwidth falls ~linearly in p at fixed n,|S|;
+// dense falls only as √p — the gap Table 2 reports.
+func TestBandwidthScalingGap(t *testing.T) {
+	n, s := 4096, 64
+	sparseRatio := SparseBandwidthUpper(n, 49, s) / SparseBandwidthUpper(n, 961, s)
+	denseRatio := DenseBandwidthUpper(n, 49) / DenseBandwidthUpper(n, 961)
+	if sparseRatio <= denseRatio {
+		t.Errorf("sparse bandwidth should scale better: sparse %.2f, dense %.2f", sparseRatio, denseRatio)
+	}
+}

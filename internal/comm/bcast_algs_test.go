@@ -1,0 +1,114 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+func runBcast(t *testing.T, q, rootIdx, words int,
+	bcast func(c *Ctx, group []int, root, tag int, data []float64) []float64) *Machine {
+	t.Helper()
+	m := NewMachine(q)
+	group := make([]int, q)
+	for i := range group {
+		group[i] = i
+	}
+	root := group[rootIdx]
+	err := m.Run(func(c *Ctx) {
+		var payload []float64
+		if c.Rank() == root {
+			payload = make([]float64, words)
+			for i := range payload {
+				payload[i] = float64(i) + 0.5
+			}
+		}
+		got := bcast(c, group, root, 100, payload)
+		if len(got) != words {
+			t.Errorf("q=%d rank %d: got %d words, want %d", q, c.Rank(), len(got), words)
+			return
+		}
+		for i, v := range got {
+			if v != float64(i)+0.5 {
+				t.Errorf("q=%d rank %d: word %d = %v", q, c.Rank(), i, v)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("q=%d: %v", q, err)
+	}
+	return m
+}
+
+func TestBcastLinearDelivers(t *testing.T) {
+	for _, q := range []int{1, 2, 3, 5, 8, 13} {
+		m := runBcast(t, q, q/2, 17, func(c *Ctx, g []int, r, tag int, d []float64) []float64 {
+			return c.BcastLinear(g, r, tag, d)
+		})
+		// Root-serialized: critical latency is exactly q-1.
+		if got := m.CriticalPath().Latency; got != int64(q-1) {
+			t.Errorf("q=%d: linear bcast latency %d, want %d", q, got, q-1)
+		}
+	}
+}
+
+func TestBcastScagDelivers(t *testing.T) {
+	for _, q := range []int{1, 2, 3, 4, 5, 7, 8, 11, 16} {
+		for _, words := range []int{0, 1, 5, 64, 100} {
+			runBcast(t, q, 0, words, func(c *Ctx, g []int, r, tag int, d []float64) []float64 {
+				return c.BcastScag(g, r, tag, d)
+			})
+		}
+	}
+}
+
+func TestBcastScagNonZeroRoot(t *testing.T) {
+	for _, q := range []int{3, 5, 8} {
+		for rootIdx := 0; rootIdx < q; rootIdx++ {
+			runBcast(t, q, rootIdx, 37, func(c *Ctx, g []int, r, tag int, d []float64) []float64 {
+				return c.BcastScag(g, r, tag, d)
+			})
+		}
+	}
+}
+
+// The whole point of scatter-allgather: per-rank bandwidth stays O(w)
+// — a constant multiple of the payload, independent of q — while the
+// binomial tree pays O(w log q).
+func TestBcastScagBandwidthOptimal(t *testing.T) {
+	const words = 4096
+	measure := func(q int, scag bool) Cost {
+		m := runBcast(t, q, 0, words, func(c *Ctx, g []int, r, tag int, d []float64) []float64 {
+			if scag {
+				return c.BcastScag(g, r, tag, d)
+			}
+			return c.Bcast(g, r, tag, d)
+		})
+		return m.CriticalPath()
+	}
+	for _, q := range []int{8, 16, 64} {
+		tree := measure(q, false)
+		scag := measure(q, true)
+		// Scag stays within a constant multiple of w at every q...
+		if scag.Bandwidth > 4*words {
+			t.Errorf("q=%d: scag bandwidth %d exceeds 4w = %d", q, scag.Bandwidth, 4*words)
+		}
+		// ...while binomial grows with log q, overtaking it.
+		wantTree := int64(words) * int64(math.Ceil(math.Log2(float64(q))))
+		if tree.Bandwidth < wantTree {
+			t.Errorf("q=%d: binomial bandwidth %d below w·log q = %d", q, tree.Bandwidth, wantTree)
+		}
+		if q >= 16 && scag.Bandwidth >= tree.Bandwidth {
+			t.Errorf("q=%d: scag bandwidth %d not below binomial %d", q, scag.Bandwidth, tree.Bandwidth)
+		}
+		// Latency stays logarithmic: far below the linear bcast's q-1.
+		// (Each hop costs 2 in this model — send plus receive — so the
+		// comparison is meaningful once q clears small constants.)
+		if q >= 32 && scag.Latency >= int64(q-1) {
+			t.Errorf("q=%d: scag latency %d not below linear %d", q, scag.Latency, q-1)
+		}
+		if scag.Latency > 4*int64(math.Ceil(math.Log2(float64(q))))+4 {
+			t.Errorf("q=%d: scag latency %d not logarithmic", q, scag.Latency)
+		}
+	}
+}

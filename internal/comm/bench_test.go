@@ -1,0 +1,86 @@
+package comm
+
+import "testing"
+
+func benchGroup(q int) []int {
+	g := make([]int, q)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+func BenchmarkPointToPoint(b *testing.B) {
+	for _, words := range []int{1, 1024, 65536} {
+		b.Run("w="+itoaB(words), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := NewMachine(2)
+				payload := make([]float64, words)
+				if err := m.Run(func(c *Ctx) {
+					if c.Rank() == 0 {
+						c.Send(1, 0, payload)
+					} else {
+						c.Recv(0, 0)
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBcastBinomial(b *testing.B) {
+	for _, q := range []int{8, 64} {
+		b.Run("q="+itoaB(q), func(b *testing.B) {
+			group := benchGroup(q)
+			payload := make([]float64, 4096)
+			for i := 0; i < b.N; i++ {
+				m := NewMachine(q)
+				if err := m.Run(func(c *Ctx) {
+					var d []float64
+					if c.Rank() == 0 {
+						d = payload
+					}
+					c.Bcast(group, 0, 0, d)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReduceBinomial(b *testing.B) {
+	const q = 64
+	group := benchGroup(q)
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(q)
+		if err := m.Run(func(c *Ctx) {
+			data := make([]float64, 1024)
+			c.Reduce(group, 0, 0, data, func(acc, in []float64) {
+				for j := range acc {
+					if in[j] < acc[j] {
+						acc[j] = in[j]
+					}
+				}
+			})
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoaB(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,216 @@
+package comm
+
+import "fmt"
+
+// Collectives are implemented with binomial trees over an explicit group
+// of ranks, so a collective over q ranks costs O(log q) latency along
+// the critical path and O(w log q) bandwidth for a w-word payload —
+// exactly the per-operation costs assumed throughout Section 5.4 of the
+// paper. Every member of the group must call the collective with the
+// same group slice (same order), the same root and the same tag.
+//
+// Tags: one collective consumes a single tag. Two collectives may share
+// a tag only if no pair of ranks exchanges messages in both at the same
+// time; the simplest safe discipline, used by all algorithms in this
+// repository, is a distinct tag per (phase, object) pair.
+
+// groupPos returns the index of rank within group, or panics: calling a
+// collective while not a member is always a programming error.
+func groupPos(group []int, rank int) int {
+	for i, r := range group {
+		if r == rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("comm: rank %d is not a member of group %v", rank, group))
+}
+
+// Bcast broadcasts data from root to every rank of group using a
+// binomial tree. On root, data is the payload to send; elsewhere data is
+// ignored (pass nil). Every caller receives the payload as the return
+// value. Receivers share the payload's backing array and must treat it
+// as read-only, or copy it.
+func (c *Ctx) Bcast(group []int, root, tag int, data []float64) []float64 {
+	q := len(group)
+	if q == 0 {
+		panic("comm: broadcast over empty group")
+	}
+	pos := groupPos(group, c.rank)
+	rootPos := groupPos(group, root)
+	rel := (pos - rootPos + q) % q
+
+	// Receive phase: a non-root rank receives exactly once, from the
+	// rank that differs in its lowest set bit.
+	mask := 1
+	for mask < q {
+		if rel&mask != 0 {
+			srcRel := rel - mask
+			src := group[(srcRel+rootPos)%q]
+			data = c.Recv(src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward to ranks at decreasing bit distances.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < q {
+			dst := group[(rel+mask+rootPos)%q]
+			c.Send(dst, tag, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Reduce combines the data contributed by every member of group with op
+// and delivers the result to root. op(acc, in) must fold in into acc in
+// place; contributions have equal length. The caller's data slice may be
+// used as the accumulator and modified. Root receives the reduced slice
+// as the return value; other ranks receive nil.
+func (c *Ctx) Reduce(group []int, root, tag int, data []float64, op func(acc, in []float64)) []float64 {
+	q := len(group)
+	if q == 0 {
+		panic("comm: reduce over empty group")
+	}
+	pos := groupPos(group, c.rank)
+	rootPos := groupPos(group, root)
+	rel := (pos - rootPos + q) % q
+
+	for mask := 1; mask < q; mask <<= 1 {
+		if rel&mask != 0 {
+			dstRel := rel - mask
+			dst := group[(dstRel+rootPos)%q]
+			c.Send(dst, tag, data)
+			return nil
+		}
+		srcRel := rel | mask
+		if srcRel < q {
+			src := group[(srcRel+rootPos)%q]
+			in := c.Recv(src, tag)
+			op(data, in)
+		}
+	}
+	return data
+}
+
+// ReduceTo reduces the members' contributions to an arbitrary root that
+// need not belong to the group. Members call it with their data; the
+// root calls it too (with nil data if it is not a member and therefore
+// contributes nothing). The reduced slice is returned at root, nil
+// elsewhere. When the root is outside the group the result travels one
+// extra message from the group's first member.
+func (c *Ctx) ReduceTo(group []int, root, tag int, data []float64, op func(acc, in []float64)) []float64 {
+	inGroup := false
+	for _, r := range group {
+		if r == c.rank {
+			inGroup = true
+			break
+		}
+	}
+	rootInGroup := false
+	for _, r := range group {
+		if r == root {
+			rootInGroup = true
+			break
+		}
+	}
+	if rootInGroup {
+		if !inGroup {
+			if c.rank != root {
+				panic("comm: ReduceTo caller is neither a member nor the root")
+			}
+			// Root is listed in the group, so it must have called the
+			// member path; reaching here means the caller lied.
+			panic("comm: ReduceTo root must call as a group member")
+		}
+		return c.Reduce(group, root, tag, data, op)
+	}
+	if inGroup {
+		res := c.Reduce(group, group[0], tag, data, op)
+		if c.rank == group[0] {
+			c.Send(root, tag, res)
+		}
+		return nil
+	}
+	if c.rank != root {
+		panic("comm: ReduceTo caller is neither a member nor the root")
+	}
+	return c.Recv(group[0], tag)
+}
+
+// Allreduce combines every member's data with op and returns the result
+// on all members (reduce to the first member, then broadcast back).
+func (c *Ctx) Allreduce(group []int, tag int, data []float64, op func(acc, in []float64)) []float64 {
+	res := c.Reduce(group, group[0], tag, data, op)
+	return c.Bcast(group, group[0], tag, res)
+}
+
+// Barrier blocks until every member of group has reached it,
+// implemented as a zero-word all-reduce (latency O(log q), bandwidth 0).
+func (c *Ctx) Barrier(group []int, tag int) {
+	c.Allreduce(group, tag, nil, func(acc, in []float64) {})
+}
+
+// Gather collects each member's (variable-length) contribution at root.
+// Root receives a slice indexed by group position; other ranks receive
+// nil. Implemented as a binomial tree with per-contribution headers, so
+// latency is O(log q) while bandwidth at the root is the total payload.
+func (c *Ctx) Gather(group []int, root, tag int, data []float64) [][]float64 {
+	q := len(group)
+	pos := groupPos(group, c.rank)
+	rootPos := groupPos(group, root)
+	rel := (pos - rootPos + q) % q
+
+	// bundle: repeated [position, length, payload...]
+	bundle := make([]float64, 0, len(data)+2)
+	bundle = append(bundle, float64(pos), float64(len(data)))
+	bundle = append(bundle, data...)
+
+	for mask := 1; mask < q; mask <<= 1 {
+		if rel&mask != 0 {
+			dstRel := rel - mask
+			dst := group[(dstRel+rootPos)%q]
+			c.Send(dst, tag, bundle)
+			return nil
+		}
+		srcRel := rel | mask
+		if srcRel < q {
+			src := group[(srcRel+rootPos)%q]
+			in := c.Recv(src, tag)
+			bundle = append(bundle, in...)
+		}
+	}
+
+	out := make([][]float64, q)
+	for i := 0; i < len(bundle); {
+		p := int(bundle[i])
+		n := int(bundle[i+1])
+		out[p] = bundle[i+2 : i+2+n : i+2+n]
+		i += 2 + n
+	}
+	return out
+}
+
+// Allgather collects every member's contribution on every member
+// (gather at the first member, then broadcast of the bundle).
+func (c *Ctx) Allgather(group []int, tag int, data []float64) [][]float64 {
+	q := len(group)
+	parts := c.Gather(group, group[0], tag, data)
+	var bundle []float64
+	if c.rank == group[0] {
+		for p, d := range parts {
+			bundle = append(bundle, float64(p), float64(len(d)))
+			bundle = append(bundle, d...)
+		}
+	}
+	bundle = c.Bcast(group, group[0], tag, bundle)
+	out := make([][]float64, q)
+	for i := 0; i < len(bundle); {
+		p := int(bundle[i])
+		n := int(bundle[i+1])
+		out[p] = bundle[i+2 : i+2+n : i+2+n]
+		i += 2 + n
+	}
+	return out
+}

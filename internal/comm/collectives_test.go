@@ -1,0 +1,241 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+func vecMin(acc, in []float64) {
+	for i := range acc {
+		if in[i] < acc[i] {
+			acc[i] = in[i]
+		}
+	}
+}
+
+func vecSum(acc, in []float64) {
+	for i := range acc {
+		acc[i] += in[i]
+	}
+}
+
+func TestBcastDeliversToAllGroupSizes(t *testing.T) {
+	for q := 1; q <= 17; q++ {
+		m := NewMachine(q + 2) // group is a strict subset of ranks
+		group := make([]int, q)
+		for i := range group {
+			group[i] = i + 1
+		}
+		root := group[q/3]
+		err := m.Run(func(c *Ctx) {
+			r := c.Rank()
+			if r == 0 || r == q+1 {
+				return // not in group
+			}
+			var payload []float64
+			if r == root {
+				payload = []float64{42, 43, 44}
+			}
+			got := c.Bcast(group, root, 5, payload)
+			if len(got) != 3 || got[0] != 42 || got[2] != 44 {
+				t.Errorf("q=%d rank %d: bcast got %v", q, r, got)
+			}
+		})
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+	}
+}
+
+// Binomial broadcast over q ranks costs O(log q) critical-path latency.
+func TestBcastLatencyIsLogarithmic(t *testing.T) {
+	for _, q := range []int{2, 4, 8, 16, 32, 64} {
+		m := NewMachine(q)
+		group := make([]int, q)
+		for i := range group {
+			group[i] = i
+		}
+		err := m.Run(func(c *Ctx) {
+			c.Bcast(group, 0, 0, []float64{1})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(math.Ceil(math.Log2(float64(q))))
+		if got := m.CriticalPath().Latency; got != want {
+			t.Errorf("q=%d: bcast latency = %d, want log2(q) = %d", q, got, want)
+		}
+	}
+}
+
+func TestReduceCombinesAllContributions(t *testing.T) {
+	for q := 1; q <= 13; q++ {
+		m := NewMachine(q)
+		group := make([]int, q)
+		for i := range group {
+			group[i] = i
+		}
+		root := q - 1
+		err := m.Run(func(c *Ctx) {
+			data := []float64{float64(c.Rank()), 1}
+			res := c.Reduce(group, root, 0, data, vecSum)
+			if c.Rank() == root {
+				wantSum := float64(q*(q-1)) / 2
+				if res[0] != wantSum || res[1] != float64(q) {
+					t.Errorf("q=%d: reduce got %v, want [%v %v]", q, res, wantSum, q)
+				}
+			} else if res != nil {
+				t.Errorf("q=%d rank %d: non-root got non-nil reduce result", q, c.Rank())
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceMinMatchesSemiring(t *testing.T) {
+	const q = 7
+	m := NewMachine(q)
+	group := []int{0, 1, 2, 3, 4, 5, 6}
+	err := m.Run(func(c *Ctx) {
+		data := []float64{float64(10 - c.Rank()), float64(c.Rank())}
+		res := c.Reduce(group, 0, 0, data, vecMin)
+		if c.Rank() == 0 {
+			if res[0] != 4 || res[1] != 0 {
+				t.Errorf("min-reduce got %v, want [4 0]", res)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceToExternalRoot(t *testing.T) {
+	m := NewMachine(5)
+	group := []int{1, 2, 3}
+	const root = 4
+	err := m.Run(func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			return
+		case root:
+			res := c.ReduceTo(group, root, 0, nil, vecSum)
+			if res[0] != 6 {
+				t.Errorf("external root got %v, want [6]", res)
+			}
+		default:
+			c.ReduceTo(group, root, 0, []float64{float64(c.Rank())}, vecSum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceToInternalRootFallsBackToReduce(t *testing.T) {
+	m := NewMachine(3)
+	group := []int{0, 1, 2}
+	err := m.Run(func(c *Ctx) {
+		res := c.ReduceTo(group, 1, 0, []float64{1}, vecSum)
+		if c.Rank() == 1 && res[0] != 3 {
+			t.Errorf("internal-root ReduceTo got %v, want [3]", res)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const q = 6
+	m := NewMachine(q)
+	group := []int{0, 1, 2, 3, 4, 5}
+	err := m.Run(func(c *Ctx) {
+		res := c.Allreduce(group, 0, []float64{float64(c.Rank())}, vecSum)
+		if res[0] != 15 {
+			t.Errorf("rank %d allreduce got %v, want [15]", c.Rank(), res)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	const q = 9
+	m := NewMachine(q)
+	group := make([]int, q)
+	for i := range group {
+		group[i] = i
+	}
+	err := m.Run(func(c *Ctx) {
+		for round := 0; round < 3; round++ {
+			c.Barrier(group, 100+round)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := m.CriticalPath().Bandwidth; bw != 0 {
+		t.Errorf("barrier moved %d words, want 0", bw)
+	}
+}
+
+func TestGatherVariableLengths(t *testing.T) {
+	const q = 5
+	m := NewMachine(q)
+	group := []int{0, 1, 2, 3, 4}
+	err := m.Run(func(c *Ctx) {
+		data := make([]float64, c.Rank()) // rank r contributes r words
+		for i := range data {
+			data[i] = float64(c.Rank()*10 + i)
+		}
+		parts := c.Gather(group, 2, 0, data)
+		if c.Rank() == 2 {
+			for p := 0; p < q; p++ {
+				if len(parts[p]) != p {
+					t.Errorf("part %d has len %d, want %d", p, len(parts[p]), p)
+					continue
+				}
+				for i, v := range parts[p] {
+					if v != float64(p*10+i) {
+						t.Errorf("part %d[%d] = %v", p, i, v)
+					}
+				}
+			}
+		} else if parts != nil {
+			t.Errorf("non-root rank %d got non-nil gather", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const q = 4
+	m := NewMachine(q)
+	group := []int{0, 1, 2, 3}
+	err := m.Run(func(c *Ctx) {
+		parts := c.Allgather(group, 0, []float64{float64(c.Rank() * 100)})
+		for p := 0; p < q; p++ {
+			if len(parts[p]) != 1 || parts[p][0] != float64(p*100) {
+				t.Errorf("rank %d: part %d = %v", c.Rank(), p, parts[p])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupPosPanicsForNonMember(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-member rank")
+		}
+	}()
+	groupPos([]int{1, 2, 3}, 7)
+}

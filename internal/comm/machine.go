@@ -1,0 +1,238 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is a point-to-point message in flight.
+type message struct {
+	src   int
+	tag   int
+	data  []float64
+	clock Cost // sender's clock snapshot taken before the send was charged
+}
+
+// mailbox holds the pending messages of one rank. Senders append under
+// the lock; the owning rank removes the first entry matching a
+// (source, tag) pair, blocking on the condition variable while none
+// matches.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	// Set while the owning rank is blocked inside take, so the
+	// watchdog can verify the wait is genuinely unsatisfiable.
+	waiting          bool
+	waitSrc, waitTag int
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(ws *watchState, m message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.mu.Unlock()
+	ws.delivered.Add(1)
+	mb.cond.Broadcast()
+}
+
+// take removes and returns the first pending message from src with tag,
+// blocking until one arrives. If the machine's watchdog poisons the run
+// (deadlock detected), take panics with a poisonError describing the
+// blocked receive.
+func (mb *mailbox) take(ws *watchState, rank, src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if ws.poisoned.Load() {
+			panic(poisonError{rank: rank, src: src, tag: tag})
+		}
+		for i, m := range mb.pending {
+			if m.src == src && m.tag == tag {
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				ws.taken.Add(1)
+				return m
+			}
+		}
+		mb.waiting = true
+		mb.waitSrc, mb.waitTag = src, tag
+		ws.blocked.Add(1)
+		mb.cond.Wait()
+		ws.blocked.Add(-1)
+		mb.waiting = false
+	}
+}
+
+// rankState is the per-rank bookkeeping touched only by the rank's own
+// goroutine (except after Run returns, when the machine reads it).
+type rankState struct {
+	clock      Cost
+	sentMsgs   int64
+	sentWords  int64
+	memWords   int64 // currently registered resident words
+	peakWords  int64 // maximum ever registered
+	recvdMsgs  int64
+	recvdWords int64
+	localFlops int64       // flops performed by this rank itself (no max-merge)
+	sentTo     []int64     // words sent per destination rank (lazily sized)
+	marks      []markEntry // phase boundaries recorded by Ctx.Mark
+}
+
+// Machine is a simulated distributed-memory machine with p ranks.
+// Create one with NewMachine, execute an SPMD program with Run, then
+// read costs with Report or CriticalPath. A Machine may be reused for
+// several consecutive Run calls; costs accumulate across them (use
+// Reset to clear).
+type Machine struct {
+	p      int
+	boxes  []*mailbox
+	states []rankState
+	ws     watchState
+}
+
+// NewMachine returns a machine with p ranks. p must be positive.
+func NewMachine(p int) *Machine {
+	if p <= 0 {
+		panic(fmt.Sprintf("comm: machine size must be positive, got %d", p))
+	}
+	m := &Machine{
+		p:      p,
+		boxes:  make([]*mailbox, p),
+		states: make([]rankState, p),
+	}
+	for i := range m.boxes {
+		m.boxes[i] = newMailbox()
+	}
+	return m
+}
+
+// P returns the number of ranks.
+func (m *Machine) P() int { return m.p }
+
+// Reset clears all cost clocks, counters and pending messages so the
+// machine can run an independent program.
+func (m *Machine) Reset() {
+	m.ws.poisoned.Store(false)
+	m.ws.delivered.Store(0)
+	for i := range m.states {
+		m.states[i] = rankState{}
+		m.boxes[i].mu.Lock()
+		m.boxes[i].pending = nil
+		m.boxes[i].mu.Unlock()
+	}
+}
+
+// Run executes fn once per rank, each in its own goroutine, and waits
+// for all of them. A panic in any rank is recovered and returned as an
+// error naming the rank. A deadlock — every rank finished or blocked in
+// Recv with messages that can never arrive — is detected by a watchdog
+// and also returned as an error instead of hanging. A machine whose Run
+// returned an error must not be reused.
+func (m *Machine) Run(fn func(ctx *Ctx)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, m.p)
+	stop := make(chan struct{})
+	go m.watch(stop)
+	for r := 0; r < m.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer m.ws.finished.Add(1)
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			fn(&Ctx{machine: m, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	m.ws.finished.Store(0)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for r, mb := range m.boxes {
+		mb.mu.Lock()
+		n := len(mb.pending)
+		mb.mu.Unlock()
+		if n != 0 {
+			return fmt.Errorf("comm: rank %d finished with %d unreceived messages", r, n)
+		}
+	}
+	return nil
+}
+
+// CriticalPath returns the element-wise maximum cost clock over all
+// ranks: the critical-path latency, bandwidth and flops of everything
+// executed so far.
+func (m *Machine) CriticalPath() Cost {
+	var c Cost
+	for i := range m.states {
+		c.maxInPlace(m.states[i].clock)
+	}
+	return c
+}
+
+// Report summarizes a finished run.
+type Report struct {
+	P             int
+	Critical      Cost    // critical-path cost (the quantities Table 2 bounds)
+	TotalMessages int64   // aggregate messages sent by all ranks
+	TotalWords    int64   // aggregate words sent by all ranks
+	MaxMemory     int64   // maximum per-rank peak resident words
+	PerRank       []Cost  // each rank's final clock
+	PeakWords     []int64 // each rank's peak registered memory
+	LocalFlops    []int64 // each rank's own computation (no clock merging)
+	LocalSent     []int64 // each rank's own sent words
+}
+
+// Report returns the cost summary of everything executed so far.
+func (m *Machine) Report() Report {
+	rep := Report{
+		P:          m.p,
+		PerRank:    make([]Cost, m.p),
+		PeakWords:  make([]int64, m.p),
+		LocalFlops: make([]int64, m.p),
+		LocalSent:  make([]int64, m.p),
+	}
+	for i := range m.states {
+		st := &m.states[i]
+		rep.Critical.maxInPlace(st.clock)
+		rep.TotalMessages += st.sentMsgs
+		rep.TotalWords += st.sentWords
+		if st.peakWords > rep.MaxMemory {
+			rep.MaxMemory = st.peakWords
+		}
+		rep.PerRank[i] = st.clock
+		rep.PeakWords[i] = st.peakWords
+		rep.LocalFlops[i] = st.localFlops
+		rep.LocalSent[i] = st.sentWords
+	}
+	return rep
+}
+
+// Traffic returns the words-sent matrix: Traffic()[src][dst] is the
+// total payload volume src sent to dst. Useful for inspecting the
+// communication structure (the sparse algorithm's matrix mirrors the
+// eTree: pivot rows/columns and the unit-processor rows light up).
+func (m *Machine) Traffic() [][]int64 {
+	out := make([][]int64, m.p)
+	for r := range out {
+		out[r] = make([]int64, m.p)
+		copy(out[r], m.states[r].sentTo)
+	}
+	return out
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("p=%d critical{%v} totalMsgs=%d totalWords=%d maxMemWords=%d",
+		r.P, r.Critical, r.TotalMessages, r.TotalWords, r.MaxMemory)
+}

@@ -1,0 +1,84 @@
+package comm
+
+import "testing"
+
+func TestPhaseCostsAggregate(t *testing.T) {
+	m := NewMachine(2)
+	err := m.Run(func(c *Ctx) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2, 3})
+		} else {
+			c.Recv(0, 0)
+		}
+		c.Mark("phase-a")
+		c.AddFlops(int64(10 * (c.Rank() + 1)))
+		c.Mark("phase-b")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := m.PhaseCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(phases))
+	}
+	if phases[0].ID != "phase-a" || phases[1].ID != "phase-b" {
+		t.Errorf("phase ids = %v, %v", phases[0].ID, phases[1].ID)
+	}
+	if phases[0].Critical.Latency != 1 || phases[0].Critical.Bandwidth != 3 {
+		t.Errorf("phase-a cost = %+v, want latency 1 bandwidth 3", phases[0].Critical)
+	}
+	if phases[1].Critical.Flops != 20 {
+		t.Errorf("phase-b flops = %d, want 20 (max over ranks)", phases[1].Critical.Flops)
+	}
+	if phases[1].Critical.Latency != 0 {
+		t.Errorf("phase-b latency = %d, want 0", phases[1].Critical.Latency)
+	}
+	if phases[0].MaxAdvance.Latency != 1 {
+		t.Errorf("phase-a max advance = %+v", phases[0].MaxAdvance)
+	}
+}
+
+func TestPhaseCostsRejectDivergentMarks(t *testing.T) {
+	m := NewMachine(2)
+	if err := m.Run(func(c *Ctx) {
+		if c.Rank() == 0 {
+			c.Mark("a")
+		} else {
+			c.Mark("b")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PhaseCosts(); err == nil {
+		t.Error("expected error for diverging mark ids")
+	}
+
+	m2 := NewMachine(2)
+	if err := m2.Run(func(c *Ctx) {
+		if c.Rank() == 0 {
+			c.Mark("a")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.PhaseCosts(); err == nil {
+		t.Error("expected error for diverging mark counts")
+	}
+}
+
+func TestPhaseCostsEmpty(t *testing.T) {
+	m := NewMachine(3)
+	if err := m.Run(func(c *Ctx) {}); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := m.PhaseCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 0 {
+		t.Errorf("phases = %v, want none", phases)
+	}
+}

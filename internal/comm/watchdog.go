@@ -1,0 +1,96 @@
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Deadlock detection: a run is deadlocked when every rank is either
+// finished or blocked in Recv and at least one is blocked — no send can
+// ever arrive. The watchdog samples that condition and, when it holds
+// across consecutive samples with no deliveries in between, poisons the
+// mailboxes; blocked ranks wake up, panic with a description of what
+// they were waiting for, and Run surfaces the panics as errors instead
+// of hanging the test suite forever.
+
+type watchState struct {
+	blocked   atomic.Int32
+	finished  atomic.Int32
+	delivered atomic.Int64
+	taken     atomic.Int64
+	poisoned  atomic.Bool
+}
+
+// poisonError is carried by the panic raised in a poisoned Recv.
+type poisonError struct {
+	rank, src, tag int
+}
+
+func (e poisonError) Error() string {
+	return fmt.Sprintf("deadlock: rank %d blocked receiving (src=%d, tag=%d) while every rank was blocked or finished", e.rank, e.src, e.tag)
+}
+
+// watch runs until stop is closed, checking for the all-blocked state.
+// Poisoning happens only after (a) a sustained window in which every
+// rank is blocked or finished and neither deliveries nor successful
+// receives made progress, and (b) an exact check under the mailbox
+// locks confirming no blocked rank has a matching pending message —
+// which rules out the benign race where a message has been delivered
+// but its receiver has not been scheduled yet.
+func (m *Machine) watch(stop <-chan struct{}) {
+	var lastDelivered, lastTaken int64 = -1, -1
+	strikes := 0
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			blocked := m.ws.blocked.Load()
+			finished := m.ws.finished.Load()
+			delivered := m.ws.delivered.Load()
+			taken := m.ws.taken.Load()
+			stalled := blocked > 0 && int(blocked+finished) == m.p &&
+				delivered == lastDelivered && taken == lastTaken
+			lastDelivered, lastTaken = delivered, taken
+			if !stalled {
+				strikes = 0
+				continue
+			}
+			strikes++
+			if strikes < 20 {
+				continue
+			}
+			if m.anySatisfiableWait() {
+				strikes = 0
+				continue
+			}
+			m.ws.poisoned.Store(true)
+			for _, mb := range m.boxes {
+				mb.cond.Broadcast()
+			}
+			return
+		}
+	}
+}
+
+// anySatisfiableWait reports whether some blocked rank already has a
+// matching message pending (it just has not been scheduled to pick it
+// up yet).
+func (m *Machine) anySatisfiableWait() bool {
+	for _, mb := range m.boxes {
+		mb.mu.Lock()
+		if mb.waiting {
+			for _, msg := range mb.pending {
+				if msg.src == mb.waitSrc && msg.tag == mb.waitTag {
+					mb.mu.Unlock()
+					return true
+				}
+			}
+		}
+		mb.mu.Unlock()
+	}
+	return false
+}

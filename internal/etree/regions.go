@@ -1,0 +1,171 @@
+package etree
+
+// The elimination of level l updates the region R_l, split into the
+// four subsets of Section 5.2:
+//
+//	R_l^1 = ∪_{k∈Q_l} (k, k)                                 diagonal update
+//	R_l^2 = ∪_{k∈Q_l} (𝒜(k)∪𝒟(k), k) ∪ (k, 𝒜(k)∪𝒟(k))        panel update
+//	R_l^3 = ∪_{k∈Q_l} (𝒜(k)∪𝒟(k), 𝒟(k)) ∪ (𝒟(k), 𝒜(k))       single-unit outer product
+//	R_l^4 = ∪_{k∈Q_l} (𝒜(k), 𝒜(k))                           multi-unit outer product
+//
+// Block (i, j) ∈ R_l^3 has exactly one computing unit (Section 5.2.1),
+// while blocks in R_l^4 need |Q_l ∩ 𝒟(i) ∩ 𝒟(j)| > 1 units and use the
+// Corollary 5.5 mapping.
+
+// Block is a block index pair of the distance matrix (supernode labels).
+type Block struct {
+	I, J int
+}
+
+// PivotBlock is a block of R_l^3 together with its unique pivot
+// supernode K: the update is A(I,J) ⊕= A(I,K) ⊗ A(K,J).
+type PivotBlock struct {
+	I, J, K int
+}
+
+// R1 returns the diagonal blocks of level l.
+func (t *Tree) R1(l int) []Block {
+	nodes := t.LevelNodes(l)
+	out := make([]Block, len(nodes))
+	for i, k := range nodes {
+		out[i] = Block{I: k, J: k}
+	}
+	return out
+}
+
+// R2 returns the panel blocks of level l: for each k ∈ Q_l, the column
+// panel (i, k) and row panel (k, j) for i, j ∈ 𝒜(k) ∪ 𝒟(k).
+func (t *Tree) R2(l int) []Block {
+	var out []Block
+	for _, k := range t.LevelNodes(l) {
+		for _, i := range t.RelatedSet(k) {
+			if i == k {
+				continue
+			}
+			out = append(out, Block{I: i, J: k}, Block{I: k, J: i})
+		}
+	}
+	return out
+}
+
+// R3 returns the single-unit blocks of level l with their pivots:
+// (i, j) pairs with i ∈ 𝒜(k)∪𝒟(k), j ∈ 𝒟(k) or i ∈ 𝒟(k), j ∈ 𝒜(k).
+// Each block appears exactly once because its pivot is unique
+// (Section 5.2.1).
+func (t *Tree) R3(l int) []PivotBlock {
+	var out []PivotBlock
+	for _, k := range t.LevelNodes(l) {
+		anc := t.Ancestors(k)
+		desc := t.Descendants(k)
+		related := t.RelatedSet(k)
+		for _, j := range desc {
+			for _, i := range related {
+				if i == k {
+					continue
+				}
+				out = append(out, PivotBlock{I: i, J: j, K: k})
+			}
+		}
+		for _, i := range desc {
+			for _, j := range anc {
+				out = append(out, PivotBlock{I: i, J: j, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// R4 returns the multi-unit blocks of level l: (i, j) with both i and j
+// proper ancestors of some k ∈ Q_l — equivalently, i and j related with
+// min(level(i), level(j)) > l. Each block is listed once.
+func (t *Tree) R4(l int) []Block {
+	var out []Block
+	for a := l + 1; a <= t.H; a++ {
+		for _, i := range t.LevelNodes(a) {
+			// Partner j is i itself or any ancestor (level(j) ≥ a); the
+			// symmetric partner (level(j) < level(i)) is listed when the
+			// roles are swapped below.
+			out = append(out, Block{I: i, J: i})
+			for _, j := range t.Ancestors(i) {
+				out = append(out, Block{I: i, J: j}, Block{I: j, J: i})
+			}
+		}
+	}
+	return out
+}
+
+// R4Lower returns the blocks of R_l^4 with level(I) ≤ level(J): the half
+// that Algorithm 1 computes directly (the other half arrives by the
+// transpose send of line 25).
+func (t *Tree) R4Lower(l int) []Block {
+	var out []Block
+	for a := l + 1; a <= t.H; a++ {
+		for _, i := range t.LevelNodes(a) {
+			out = append(out, Block{I: i, J: i})
+			for _, j := range t.Ancestors(i) {
+				out = append(out, Block{I: i, J: j})
+			}
+		}
+	}
+	return out
+}
+
+// UnitsFor returns Q_l ∩ 𝒟(i) ∩ 𝒟(j), the pivots of the computing
+// units updating block (i, j) during the elimination of level l. For
+// (i, j) ∈ R_l^4 with related i, j this is the level-l descendant run
+// of the lower of the two.
+func (t *Tree) UnitsFor(l, i, j int) []int {
+	if !t.Related(i, j) {
+		return nil
+	}
+	lower := i
+	if t.Level(j) < t.Level(i) {
+		lower = j
+	}
+	if t.Level(lower) <= l {
+		return nil
+	}
+	return t.DescendantsAtLevel(lower, l)
+}
+
+// RegionOf classifies block (i, j) for the elimination of level l:
+// 1..4 for R_l^1..R_l^4, or 0 if the block is not updated at level l.
+func (t *Tree) RegionOf(l, i, j int) int {
+	li, lj := t.Level(i), t.Level(j)
+	switch {
+	case i == j && li == l:
+		return 1
+	case li == l || lj == l:
+		if t.Related(i, j) {
+			return 2
+		}
+		return 0
+	case li > l && lj > l:
+		if !t.Related(i, j) {
+			return 0
+		}
+		// Both strictly above l on a common root path: R_l^4.
+		return 4
+	default:
+		// At least one of i, j is below level l. The block is updated
+		// iff a level-l pivot exists relating both: the level-l ancestor
+		// of the lower one must be related to the other.
+		lower, other := i, j
+		if lj < li {
+			lower, other = j, i
+		}
+		// other == k is impossible here: level(other) == l is handled by
+		// the panel case above.
+		k := t.AncestorAtLevel(lower, l)
+		if !t.Related(other, k) {
+			return 0
+		}
+		// other is related to pivot k. If other also sits below level l
+		// it must be a descendant of the same pivot, i.e. share the
+		// level-l ancestor.
+		if t.Level(other) < l && t.AncestorAtLevel(other, l) != k {
+			return 0
+		}
+		return 3
+	}
+}

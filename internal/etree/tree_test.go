@@ -1,0 +1,201 @@
+package etree
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHeightForGrid(t *testing.T) {
+	ok := map[int]int{1: 1, 3: 2, 7: 3, 15: 4, 31: 5}
+	for s, wantH := range ok {
+		h, err := HeightForGrid(s)
+		if err != nil || h != wantH {
+			t.Errorf("HeightForGrid(%d) = %d, %v; want %d", s, h, err, wantH)
+		}
+	}
+	for _, s := range []int{2, 4, 5, 6, 8, 16} {
+		if _, err := HeightForGrid(s); err == nil {
+			t.Errorf("HeightForGrid(%d) succeeded, want error", s)
+		}
+	}
+}
+
+// Figure 3a: the 4-level tree labelled from the bottom. Level 1 holds
+// 1..8, level 2 holds 9..12, level 3 holds 13..14, the root is 15.
+func TestFigure3aLabeling(t *testing.T) {
+	tr := New(4)
+	if tr.N != 15 {
+		t.Fatalf("N = %d", tr.N)
+	}
+	wantLevels := map[int][]int{
+		1: {1, 2, 3, 4, 5, 6, 7, 8},
+		2: {9, 10, 11, 12},
+		3: {13, 14},
+		4: {15},
+	}
+	for l, want := range wantLevels {
+		if got := tr.LevelNodes(l); !reflect.DeepEqual(got, want) {
+			t.Errorf("Q_%d = %v, want %v", l, got, want)
+		}
+	}
+	// Parent structure: 1,2 -> 9; 3,4 -> 10; ... 9,10 -> 13; 13,14 -> 15.
+	wantParent := map[int]int{1: 9, 2: 9, 3: 10, 4: 10, 5: 11, 6: 11, 7: 12, 8: 12,
+		9: 13, 10: 13, 11: 14, 12: 14, 13: 15, 14: 15, 15: 0}
+	for k, want := range wantParent {
+		if got := tr.Parent(k); got != want {
+			t.Errorf("Parent(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestChildrenInverseOfParent(t *testing.T) {
+	for h := 1; h <= 6; h++ {
+		tr := New(h)
+		for k := 1; k <= tr.N; k++ {
+			for _, ch := range tr.Children(k) {
+				if tr.Parent(ch) != k {
+					t.Errorf("h=%d: Parent(Children(%d)) mismatch at child %d", h, k, ch)
+				}
+			}
+			if tr.Level(k) == 1 && tr.Children(k) != nil {
+				t.Errorf("leaf %d has children", k)
+			}
+		}
+	}
+}
+
+// Figure 2b structurally (the paper's pre-relabel figure has A(3)={7},
+// D(3)={1,2}, C(3)={4,5,6}; under the Section 5.2 bottom-up labels the
+// corresponding level-2 node is 5): ancestors/descendants/cousins of a
+// 3-level tree.
+func TestFigure2bSets(t *testing.T) {
+	tr := New(3)
+	if got := tr.Ancestors(5); !reflect.DeepEqual(got, []int{7}) {
+		t.Errorf("A(5) = %v, want [7]", got)
+	}
+	if got := tr.Descendants(5); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("D(5) = %v, want [1 2]", got)
+	}
+	if got := tr.Cousins(5); !reflect.DeepEqual(got, []int{3, 4, 6}) {
+		t.Errorf("C(5) = %v, want [3 4 6]", got)
+	}
+}
+
+func TestAncestorAtLevel(t *testing.T) {
+	tr := New(4)
+	cases := []struct{ k, a, want int }{
+		{1, 1, 1}, {1, 2, 9}, {1, 3, 13}, {1, 4, 15},
+		{8, 2, 12}, {8, 3, 14}, {8, 4, 15},
+		{5, 2, 11}, {11, 3, 14},
+	}
+	for _, c := range cases {
+		if got := tr.AncestorAtLevel(c.k, c.a); got != c.want {
+			t.Errorf("AncestorAtLevel(%d, %d) = %d, want %d", c.k, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSetSizesMatchPaperFormulas(t *testing.T) {
+	// |𝒜(k)| = h − l and |𝒟(k)| = 2^l − 2 (used in Lemma 5.6's proof).
+	for h := 1; h <= 6; h++ {
+		tr := New(h)
+		for k := 1; k <= tr.N; k++ {
+			l := tr.Level(k)
+			if got := len(tr.Ancestors(k)); got != h-l {
+				t.Errorf("h=%d k=%d: |A| = %d, want %d", h, k, got, h-l)
+			}
+			if got := len(tr.Descendants(k)); got != (1<<l)-2 {
+				t.Errorf("h=%d k=%d: |D| = %d, want %d", h, k, got, (1<<l)-2)
+			}
+			// Ancestors + descendants + cousins + self = N.
+			if got := len(tr.Cousins(k)); got != tr.N-1-(h-l)-((1<<l)-2) {
+				t.Errorf("h=%d k=%d: |C| = %d", h, k, got)
+			}
+		}
+	}
+}
+
+func TestIsAncestorAndRelated(t *testing.T) {
+	tr := New(4)
+	if !tr.IsAncestor(15, 1) || !tr.IsAncestor(9, 2) || !tr.IsAncestor(13, 10) {
+		t.Error("missing ancestor relations")
+	}
+	if tr.IsAncestor(1, 9) || tr.IsAncestor(9, 9) || tr.IsAncestor(10, 1) {
+		t.Error("spurious ancestor relations")
+	}
+	if !tr.Related(1, 1) || !tr.Related(1, 13) || !tr.Related(13, 1) {
+		t.Error("missing related")
+	}
+	if tr.Related(1, 2) || tr.Related(9, 11) || tr.Related(1, 10) {
+		t.Error("cousins reported related")
+	}
+}
+
+func TestDescendantsAtLevelContiguous(t *testing.T) {
+	tr := New(4)
+	if got := tr.DescendantsAtLevel(13, 1); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Errorf("D(13) ∩ Q_1 = %v", got)
+	}
+	if got := tr.DescendantsAtLevel(15, 2); !reflect.DeepEqual(got, []int{9, 10, 11, 12}) {
+		t.Errorf("D(15) ∩ Q_2 = %v", got)
+	}
+	if got := tr.DescendantsAtLevel(14, 1); !reflect.DeepEqual(got, []int{5, 6, 7, 8}) {
+		t.Errorf("D(14) ∩ Q_1 = %v", got)
+	}
+	if got := tr.DescendantsAtLevel(9, 2); got != nil {
+		t.Errorf("D(9) ∩ Q_2 = %v, want nil", got)
+	}
+}
+
+func TestRelatedSetOrdered(t *testing.T) {
+	tr := New(3)
+	if got := tr.RelatedSet(5); !reflect.DeepEqual(got, []int{1, 2, 5, 7}) {
+		t.Errorf("RelatedSet(5) = %v", got)
+	}
+	if got := tr.RelatedSet(7); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5, 6, 7}) {
+		t.Errorf("RelatedSet(7) = %v", got)
+	}
+}
+
+func TestTreePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(0) },
+		func() { New(3).Level(0) },
+		func() { New(3).Level(8) },
+		func() { New(3).AncestorAtLevel(7, 2) },
+		func() { New(3).Col(1, 5) },
+		func() { New(3).Row(2, 2, 3) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkUnitsForLevel(b *testing.B) {
+	tr := New(6)
+	for i := 0; i < b.N; i++ {
+		for l := 1; l <= tr.H; l++ {
+			tr.UnitsForLevel(l)
+		}
+	}
+}
+
+func BenchmarkRegionOf(b *testing.B) {
+	tr := New(5)
+	for i := 0; i < b.N; i++ {
+		for l := 1; l <= tr.H; l++ {
+			for x := 1; x <= tr.N; x++ {
+				for j := 1; j <= tr.N; j++ {
+					tr.RegionOf(l, x, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two parsers: they must never panic and, when
+// they accept an input, the resulting graph must satisfy basic
+// invariants and round-trip through the writer.
+
+func FuzzRead(f *testing.F) {
+	f.Add("n 3\n0 1 2.5\n1 2 1\n")
+	f.Add("# comment\nn 1\n")
+	f.Add("n 0\n")
+	f.Add("n 5\n0 4\n")
+	f.Add("n") // regression: bare header once indexed out of range
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		checkParsedGraph(t, g)
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatalf("write failed on accepted graph: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round-trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), back.N(), back.M())
+		}
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("3 2\n2 3\n1\n1\n")
+	f.Add("2 1 1\n2 4.5\n1 4.5\n")
+	f.Add("0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadMETIS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		checkParsedGraph(t, g)
+	})
+}
+
+// checkParsedGraph verifies adjacency symmetry and bounds.
+func checkParsedGraph(t *testing.T, g *Graph) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		for _, e := range g.Adj(v) {
+			if e.To < 0 || e.To >= g.N() || e.To == v {
+				t.Fatalf("bad half-edge %d -> %d", v, e.To)
+			}
+			if w, ok := g.HasEdge(e.To, v); !ok || w != e.W {
+				t.Fatalf("asymmetric edge {%d,%d}", v, e.To)
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Generators for the workload families used by the experiments. Grid
+// graphs are the canonical "small separator" family (|S| = Θ(√n) for a
+// 2D grid), random G(n,p) graphs have large separators, and the
+// remaining families exercise edge cases of the ordering and the eTree
+// machinery.
+
+// WeightFn produces the weight of edge {u, v}.
+type WeightFn func(u, v int) float64
+
+// UnitWeights gives every edge weight 1.
+func UnitWeights(u, v int) float64 { return 1 }
+
+// RandomWeights returns a WeightFn drawing uniform weights in [lo, hi).
+func RandomWeights(rng *rand.Rand, lo, hi float64) WeightFn {
+	return func(u, v int) float64 { return lo + rng.Float64()*(hi-lo) }
+}
+
+// Grid2D returns the rows×cols 4-neighbour mesh. Its minimal balanced
+// vertex separator is one grid line, |S| = Θ(√n), the paper's sweet
+// spot for the sparse algorithm.
+func Grid2D(rows, cols int, w WeightFn) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), w(id(r, c), id(r, c+1)))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), w(id(r, c), id(r+1, c)))
+			}
+		}
+	}
+	return g
+}
+
+// Grid3D returns the x×y×z 6-neighbour mesh (|S| = Θ(n^{2/3})).
+func Grid3D(x, y, z int, w WeightFn) *Graph {
+	g := New(x * y * z)
+	id := func(i, j, k int) int { return (i*y+j)*z + k }
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				if i+1 < x {
+					g.AddEdge(id(i, j, k), id(i+1, j, k), w(id(i, j, k), id(i+1, j, k)))
+				}
+				if j+1 < y {
+					g.AddEdge(id(i, j, k), id(i, j+1, k), w(id(i, j, k), id(i, j+1, k)))
+				}
+				if k+1 < z {
+					g.AddEdge(id(i, j, k), id(i, j, k+1), w(id(i, j, k), id(i, j, k+1)))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Path returns the n-vertex path graph.
+func Path(n int, w WeightFn) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1, w(v, v+1))
+	}
+	return g
+}
+
+// Cycle returns the n-vertex cycle.
+func Cycle(n int, w WeightFn) *Graph {
+	g := Path(n, w)
+	if n > 2 {
+		g.AddEdge(n-1, 0, w(n-1, 0))
+	}
+	return g
+}
+
+// Complete returns K_n, the worst case for the sparse algorithm
+// (|S| = Θ(n)).
+func Complete(n int, w WeightFn) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v, w(u, v))
+		}
+	}
+	return g
+}
+
+// RandomGNP returns an Erdős–Rényi G(n, prob) graph, made connected by
+// threading a random spanning path through all vertices first.
+func RandomGNP(n int, prob float64, w WeightFn, rng *rand.Rand) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(perm[i], perm[i+1], w(perm[i], perm[i+1]))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < prob {
+				g.AddEdge(u, v, w(u, v))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree (random attachment).
+func RandomTree(n int, w WeightFn, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		g.AddEdge(u, v, w(u, v))
+	}
+	return g
+}
+
+// RMAT returns an R-MAT power-law graph with 2^scale vertices and
+// roughly edgeFactor·2^scale edges, connected via a spanning path. The
+// standard (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) parameters are used.
+func RMAT(scale, edgeFactor int, w WeightFn, rng *rand.Rand) *Graph {
+	n := 1 << scale
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(perm[i], perm[i+1], w(perm[i], perm[i+1]))
+	}
+	const a, b, c = 0.57, 0.19, 0.19
+	for e := 0; e < edgeFactor*n; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// stay in top-left quadrant
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			g.AddEdge(u, v, w(u, v))
+		}
+	}
+	return g
+}
+
+// Star returns the n-vertex star with center 0 (separator of size 1).
+func Star(n int, w WeightFn) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v, w(0, v))
+	}
+	return g
+}
+
+// Caterpillar returns a path of spine vertices, each with legs pendant
+// vertices attached — a tree stressing unbalanced degree distributions.
+func Caterpillar(spine, legs int, w WeightFn) *Graph {
+	g := New(spine * (1 + legs))
+	for s := 0; s+1 < spine; s++ {
+		g.AddEdge(s, s+1, w(s, s+1))
+	}
+	next := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(s, next, w(s, next))
+			next++
+		}
+	}
+	return g
+}
+
+// Figure1Graph returns the 7-vertex example of Figure 1a in the paper:
+// after nested dissection it splits into V1, V2 of size 3 and a
+// singleton separator. Vertices are labelled as in the figure's
+// *reordered* form (1..7 → 0..6 here): {0,1,2} = V1, {3,4,5} = V2,
+// {6} = S, with V1 and V2 internally connected and both attached to S,
+// but no V1–V2 edge.
+func Figure1Graph() *Graph {
+	g := New(7)
+	// V1 internal edges
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	// V2 internal edges
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(3, 5, 1)
+	// separator attachments
+	g.AddEdge(2, 6, 1)
+	g.AddEdge(5, 6, 1)
+	return g
+}
+
+// NamedGenerator builds one of the standard experiment workloads by
+// name; the harness and cmd/apspbench use it so workloads are
+// selectable from the command line.
+func NamedGenerator(name string, n int, seed int64) (*Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	w := RandomWeights(rng, 1, 10)
+	switch name {
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return Grid2D(side, side, w), nil
+	case "grid3d":
+		side := 1
+		for (side+1)*(side+1)*(side+1) <= n {
+			side++
+		}
+		return Grid3D(side, side, side, w), nil
+	case "path":
+		return Path(n, w), nil
+	case "cycle":
+		return Cycle(n, w), nil
+	case "tree":
+		return RandomTree(n, w, rng), nil
+	case "gnp":
+		return RandomGNP(n, 4.0/float64(n), w, rng), nil
+	case "gnp-dense":
+		return RandomGNP(n, 0.3, w, rng), nil
+	case "rmat":
+		scale := 0
+		for 1<<(scale+1) <= n {
+			scale++
+		}
+		return RMAT(scale, 8, w, rng), nil
+	case "complete":
+		return Complete(n, w), nil
+	case "star":
+		return Star(n, w), nil
+	case "rgg":
+		return RandomGeometric(n, 1.8/math.Sqrt(float64(n)), rng), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown generator %q", name)
+	}
+}
+
+// RandomGeometric returns a unit-square random geometric graph: n
+// points placed uniformly, edges between pairs within distance radius,
+// weights equal to the Euclidean distance. Connectivity is ensured by
+// threading a path through the points sorted by x-coordinate. RGGs are
+// the standard road-network proxy with |S| = Θ(√n) separators.
+func RandomGeometric(n int, radius float64, rng *rand.Rand) *Graph {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{x: rng.Float64(), y: rng.Float64()}
+	}
+	g := New(n)
+	// Grid bucketing keeps edge generation near O(n) for small radii.
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	bucket := make(map[[2]int][]int)
+	cellOf := func(p pt) [2]int {
+		cx, cy := int(p.x*float64(cells)), int(p.y*float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for i, p := range pts {
+		bucket[cellOf(p)] = append(bucket[cellOf(p)], i)
+	}
+	dist := func(a, b pt) float64 {
+		dx, dy := a.x-b.x, a.y-b.y
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	for i, p := range pts {
+		c := cellOf(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bucket[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					if d := dist(p, pts[j]); d <= radius {
+						g.AddEdge(i, j, d)
+					}
+				}
+			}
+		}
+	}
+	// Connect stragglers along the x-sorted order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]].x < pts[order[b]].x })
+	for i := 0; i+1 < n; i++ {
+		a, b := order[i], order[i+1]
+		if _, ok := g.HasEdge(a, b); !ok {
+			g.AddEdge(a, b, dist(pts[a], pts[b]))
+		}
+	}
+	return g
+}

@@ -1,0 +1,192 @@
+// Package graph provides the weighted undirected graphs the APSP
+// algorithms operate on (Section 3.2 of the paper): n vertices, edge
+// weights that may be negative as long as no negative cycle exists, and
+// absent edges treated as +∞.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Inf is the weight of an absent edge.
+var Inf = math.Inf(1)
+
+// Edge is a half-edge: the endpoint and the weight.
+type Edge struct {
+	To int
+	W  float64
+}
+
+// Graph is a weighted undirected graph in adjacency-list form. Vertices
+// are 0-based. Parallel edges are collapsed to the minimum weight when
+// built through AddEdge.
+type Graph struct {
+	n   int
+	m   int // number of undirected edges
+	adj [][]Edge
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Adj returns the adjacency list of vertex v. The slice is owned by the
+// graph; callers must not modify it.
+func (g *Graph) Adj(v int) []Edge { return g.adj[v] }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// HasEdge reports whether the undirected edge {u, v} exists and returns
+// its weight (Inf when absent).
+func (g *Graph) HasEdge(u, v int) (float64, bool) {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return e.W, true
+		}
+	}
+	return Inf, false
+}
+
+// AddEdge inserts the undirected edge {u, v} with weight w. Self-loops
+// are ignored (the distance matrix diagonal is always 0). If the edge
+// already exists, the smaller weight wins.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} outside [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		return
+	}
+	if g.relaxHalf(u, v, w) {
+		g.relaxHalf(v, u, w)
+		return
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
+	g.m++
+}
+
+// relaxHalf lowers the weight of the existing half-edge u→v to w if it
+// exists, reporting whether it was found.
+func (g *Graph) relaxHalf(u, v int, w float64) bool {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			if w < g.adj[u][i].W {
+				g.adj[u][i].W = w
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.m = g.m
+	for v := range g.adj {
+		c.adj[v] = append([]Edge(nil), g.adj[v]...)
+	}
+	return c
+}
+
+// Permute returns the graph with vertices renumbered so that old vertex
+// v becomes perm[v]. perm must be a permutation of [0, n).
+func (g *Graph) Permute(perm []int) *Graph {
+	if len(perm) != g.n {
+		panic(fmt.Sprintf("graph: permutation length %d for %d vertices", len(perm), g.n))
+	}
+	seen := make([]bool, g.n)
+	for _, p := range perm {
+		if p < 0 || p >= g.n || seen[p] {
+			panic("graph: perm is not a permutation")
+		}
+		seen[p] = true
+	}
+	out := New(g.n)
+	out.m = g.m
+	for v := range g.adj {
+		nv := perm[v]
+		out.adj[nv] = make([]Edge, len(g.adj[v]))
+		for i, e := range g.adj[v] {
+			out.adj[nv][i] = Edge{To: perm[e.To], W: e.W}
+		}
+	}
+	return out
+}
+
+// Subgraph returns the induced subgraph on vertices, along with the
+// original index of each new vertex (new index i corresponds to
+// vertices[i]).
+func (g *Graph) Subgraph(vertices []int) *Graph {
+	idx := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		idx[v] = i
+	}
+	out := New(len(vertices))
+	for i, v := range vertices {
+		for _, e := range g.adj[v] {
+			if j, ok := idx[e.To]; ok && j > i {
+				out.AddEdge(i, j, e.W)
+			}
+		}
+	}
+	return out
+}
+
+// Edges returns all undirected edges as (u, v, w) with u < v, sorted.
+type EdgeTriple struct {
+	U, V int
+	W    float64
+}
+
+// Edges lists the undirected edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []EdgeTriple {
+	out := make([]EdgeTriple, 0, g.m)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if u < e.To {
+				out = append(out, EdgeTriple{U: u, V: e.To, W: e.W})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// AdjacencyMatrix returns the dense n×n adjacency matrix in row-major
+// order: 0 on the diagonal, edge weights where edges exist, Inf
+// elsewhere — the distance-matrix initial state of Section 3.2.
+func (g *Graph) AdjacencyMatrix() []float64 {
+	a := make([]float64, g.n*g.n)
+	for i := range a {
+		a[i] = Inf
+	}
+	for v := 0; v < g.n; v++ {
+		a[v*g.n+v] = 0
+		for _, e := range g.adj[v] {
+			if e.W < a[v*g.n+e.To] {
+				a[v*g.n+e.To] = e.W
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomGNP(40, 0.1, RandomWeights(rng, 1, 9), rng)
+	var buf bytes.Buffer
+	if err := g.WriteMETIS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round-trip n=%d m=%d, want n=%d m=%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if w, ok := back.HasEdge(e.U, e.V); !ok || w != e.W {
+			t.Errorf("edge {%d,%d}: w=%v ok=%v, want %v", e.U, e.V, w, ok, e.W)
+		}
+	}
+}
+
+func TestMETISUnweighted(t *testing.T) {
+	in := "% a comment\n4 3\n2 3\n1\n1 4\n3\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 1 {
+		t.Errorf("edge {0,1} w=%v ok=%v", w, ok)
+	}
+	if _, ok := g.HasEdge(2, 3); !ok {
+		t.Error("missing edge {2,3}")
+	}
+}
+
+func TestMETISWeighted(t *testing.T) {
+	in := "3 2 1\n2 5.5\n1 5.5 3 2\n2 2\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.HasEdge(0, 1); w != 5.5 {
+		t.Errorf("weight = %v, want 5.5", w)
+	}
+	if w, _ := g.HasEdge(1, 2); w != 2 {
+		t.Errorf("weight = %v, want 2", w)
+	}
+}
+
+func TestMETISRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                  // no header
+		"x 3\n",             // bad n
+		"3 x\n",             // bad m
+		"2 1 11\n2\n1\n",    // vertex weights unsupported
+		"2 1\n5\n1\n",       // neighbour out of range
+		"2 1 1\n2\n1 1\n",   // odd token count for weighted
+		"2 1 1\n2 w\n1 w\n", // bad weight
+		"3 1\n2\n1\n",       // missing vertex line
+		"2 5\n2\n1\n",       // edge count mismatch
+		"2 1 1\n2 1\n1 x\n", // bad weight second line
+	}
+	for _, s := range bad {
+		if _, err := ReadMETIS(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadMETIS(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMETISEmptyGraph(t *testing.T) {
+	g, err := ReadMETIS(strings.NewReader("0 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 {
+		t.Errorf("n = %d", g.N())
+	}
+}

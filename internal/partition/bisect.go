@@ -1,0 +1,110 @@
+package partition
+
+import "math/rand"
+
+// bisectOptions tunes the multilevel bisector.
+type bisectOptions struct {
+	coarseTarget int     // stop coarsening at this many vertices
+	imbalance    float64 // allowed deviation from perfect balance
+	fmPasses     int     // FM refinement passes per level
+	growTries    int     // initial-partition attempts on the coarsest graph
+}
+
+func defaultBisectOptions() bisectOptions {
+	return bisectOptions{coarseTarget: 48, imbalance: 0.15, fmPasses: 6, growTries: 6}
+}
+
+// bisect computes a balanced 2-way partition of w, returning the side
+// (0 or 1) of each vertex. It is the coarsen → initial partition →
+// uncoarsen-and-refine pipeline of Karypis–Kumar.
+func bisect(w *wgraph, opts bisectOptions, rng *rand.Rand) []int8 {
+	if w.n == 0 {
+		return nil
+	}
+	if w.n == 1 {
+		return []int8{0}
+	}
+	// Coarsening phase.
+	levels := []*wgraph{w}
+	var cmaps [][]int
+	cur := w
+	for cur.n > opts.coarseTarget {
+		cg, cmap := coarsen(cur, rng)
+		if cg == nil {
+			break
+		}
+		levels = append(levels, cg)
+		cmaps = append(cmaps, cmap)
+		cur = cg
+	}
+	// Initial partition on the coarsest graph.
+	coarsest := levels[len(levels)-1]
+	part := growInitial(coarsest, opts, rng)
+	fmRefine(coarsest, part, opts)
+	// Uncoarsening: project and refine.
+	for lvl := len(levels) - 2; lvl >= 0; lvl-- {
+		fine := levels[lvl]
+		cmap := cmaps[lvl]
+		finePart := make([]int8, fine.n)
+		for v := 0; v < fine.n; v++ {
+			finePart[v] = part[cmap[v]]
+		}
+		part = finePart
+		fmRefine(fine, part, opts)
+	}
+	return part
+}
+
+// growInitial produces a starting bipartition of the coarsest graph by
+// greedy graph growing: BFS from a random start accumulating vertex
+// weight until half the total, repeated growTries times keeping the
+// partition with the smallest cut. Unreached vertices (other
+// components) are assigned to whichever side is lighter.
+func growInitial(w *wgraph, opts bisectOptions, rng *rand.Rand) []int8 {
+	best := make([]int8, w.n)
+	bestCut := -1
+	half := w.tot / 2
+	for try := 0; try < opts.growTries; try++ {
+		part := make([]int8, w.n)
+		for i := range part {
+			part[i] = 1
+		}
+		start := rng.Intn(w.n)
+		grown := 0
+		queue := []int{start}
+		seen := make([]bool, w.n)
+		seen[start] = true
+		for len(queue) > 0 && grown < half {
+			v := queue[0]
+			queue = queue[1:]
+			part[v] = 0
+			grown += w.vwgt[v]
+			nbr, _ := w.neighbors(v)
+			for _, u := range nbr {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		// Other components: balance greedily.
+		w0, w1 := w.sideWeights(part)
+		for v := 0; v < w.n; v++ {
+			if !seen[v] {
+				if w0 <= w1 {
+					part[v] = 0
+					w0 += w.vwgt[v]
+				} else {
+					part[v] = 1
+					w1 += w.vwgt[v]
+				}
+			}
+		}
+		cut := w.cutWeight(part)
+		if bestCut == -1 || cut < bestCut {
+			bestCut = cut
+			copy(best, part)
+		}
+	}
+	return best
+}

@@ -1,0 +1,106 @@
+package partition
+
+import "math/rand"
+
+// coarsen contracts a heavy-edge matching of w: unmatched vertices are
+// visited in random order and matched with the unmatched neighbour whose
+// connecting edge is heaviest (Karypis–Kumar HEM). It returns the coarse
+// graph and the fine→coarse vertex map, or nil if the matching shrinks
+// the graph by less than 10% (coarsening has stalled).
+func coarsen(w *wgraph, rng *rand.Rand) (*wgraph, []int) {
+	match := make([]int, w.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(w.n)
+	coarseN := 0
+	cmap := make([]int, w.n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		bestU, bestW := -1, -1
+		nbr, ew := w.neighbors(v)
+		for i, u := range nbr {
+			if match[u] == -1 && u != v && ew[i] > bestW {
+				bestU, bestW = u, ew[i]
+			}
+		}
+		if bestU == -1 {
+			match[v] = v
+			cmap[v] = coarseN
+			coarseN++
+		} else {
+			match[v] = bestU
+			match[bestU] = v
+			cmap[v] = coarseN
+			cmap[bestU] = coarseN
+			coarseN++
+		}
+	}
+	if coarseN > w.n*9/10 {
+		return nil, nil
+	}
+
+	// Build the coarse graph: sum vertex weights of merged pairs and
+	// collapse parallel edges by summing their weights.
+	cg := &wgraph{
+		n:    coarseN,
+		vwgt: make([]int, coarseN),
+		xadj: make([]int, coarseN+1),
+		tot:  w.tot,
+	}
+	for v := 0; v < w.n; v++ {
+		cg.vwgt[cmap[v]] += w.vwgt[v]
+	}
+	// Per-coarse-vertex accumulation using a scratch map-by-stamp.
+	stamp := make([]int, coarseN)
+	slot := make([]int, coarseN)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	fineOf := make([][2]int, coarseN)
+	for i := range fineOf {
+		fineOf[i] = [2]int{-1, -1}
+	}
+	for v := 0; v < w.n; v++ {
+		c := cmap[v]
+		if fineOf[c][0] == -1 {
+			fineOf[c][0] = v
+		} else {
+			fineOf[c][1] = v
+		}
+	}
+	var adj []int
+	var ewgt []int
+	for c := 0; c < coarseN; c++ {
+		cg.xadj[c] = len(adj)
+		for _, v := range fineOf[c] {
+			if v == -1 {
+				continue
+			}
+			nbr, ew := w.neighbors(v)
+			for i, u := range nbr {
+				cu := cmap[u]
+				if cu == c {
+					continue
+				}
+				if stamp[cu] == c {
+					ewgt[slot[cu]] += ew[i]
+				} else {
+					stamp[cu] = c
+					slot[cu] = len(adj)
+					adj = append(adj, cu)
+					ewgt = append(ewgt, ew[i])
+				}
+			}
+		}
+	}
+	cg.xadj[coarseN] = len(adj)
+	cg.adj = adj
+	cg.ewgt = ewgt
+	return cg, cmap
+}

@@ -1,0 +1,48 @@
+package partition
+
+import (
+	"testing"
+
+	"sparseapsp/internal/graph"
+)
+
+func TestDistributedNDCostCompletes(t *testing.T) {
+	g := graph.Grid2D(16, 16, graph.UnitWeights)
+	for _, p := range []int{1, 4, 9, 49} {
+		rep, err := DistributedNDCost(g, p, 1)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if p > 1 && rep.Critical.Latency == 0 {
+			t.Errorf("p=%d: no communication replayed", p)
+		}
+	}
+}
+
+// The replayed latency must be polylogarithmic in p: O(log²p), the
+// Section 5.4.4 claim.
+func TestDistributedNDCostLatencyPolylog(t *testing.T) {
+	g := graph.Grid2D(32, 32, graph.UnitWeights)
+	l9 := ndLatency(t, g, 9)
+	l961 := ndLatency(t, g, 961)
+	// log²(961) / log²(9) ≈ 98/10 ≈ 10; √p scaling would give ~10x too,
+	// so compare against p-linear growth instead: 961/9 ≈ 107.
+	if l961 > 30*l9 {
+		t.Errorf("ND replay latency grew too fast: %d at p=9 vs %d at p=961", l9, l961)
+	}
+}
+
+func ndLatency(t *testing.T, g *graph.Graph, p int) int64 {
+	t.Helper()
+	rep, err := DistributedNDCost(g, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Critical.Latency
+}
+
+func TestDistributedNDCostRejectsBadP(t *testing.T) {
+	if _, err := DistributedNDCost(graph.New(4), 0, 1); err == nil {
+		t.Error("expected error for p=0")
+	}
+}

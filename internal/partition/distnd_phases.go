@@ -1,0 +1,439 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"sparseapsp/internal/graph"
+)
+
+// Coarsening / bisection / separator phases of DistributedND. All
+// collectives run over the node's group; every member executes the
+// same sequence, so tags derived from (depth, idx, phase, round) match
+// up. Group size 1 degenerates gracefully (collectives over singleton
+// groups move no messages).
+
+const dndMaxCoarsenRounds = 40
+
+// bisectNode partitions the node's distributed subgraph, returning the
+// side of every owned vertex, the (globally known) separator set, and
+// the published parts of remote boundary vertices (needed later to
+// filter adjacency during redistribution).
+func (w *dndWorker) bisectNode(group []int, chunk *dndChunk, depth, idx int) (map[int]int8, map[int]bool, map[int]int) {
+	leader := group[0]
+
+	// --- Coarsening rounds with local matching. ---
+	type levelMap struct{ cmap map[int]int }
+	var chain []levelMap
+	cur := chunk
+	globalN := w.allSum(group, len(cur.verts), w.tag(depth, idx, 1, 0))
+	threshold := 32
+	if 2*len(group) > threshold {
+		threshold = 2 * len(group)
+	}
+	for round := 1; round <= dndMaxCoarsenRounds && globalN > threshold; round++ {
+		coarse, cmap, localCount := w.coarsenLocal(cur)
+		// Prefix-sum the coarse counts to assign global coarse ids.
+		counts := w.allGatherInts(group, []int{localCount}, w.tag(depth, idx, 2, round))
+		base := 0
+		myPos := groupIndex(group, w.ctx.Rank())
+		total := 0
+		for pos, c := range counts {
+			if pos < myPos {
+				base += c[0]
+			}
+			total += c[0]
+		}
+		// Shift local coarse ids by base.
+		shifted := newChunk()
+		idShift := func(id int) int { return id + base }
+		for fine, c := range cmap {
+			cmap[fine] = idShift(c)
+		}
+		for _, v := range coarse.verts {
+			shifted.verts = append(shifted.verts, idShift(v))
+			shifted.weight[idShift(v)] = coarse.weight[v]
+		}
+		// Publish boundary cmap entries and translate edges.
+		remoteCmap := w.exchangeBoundary(group, cur, cmap, w.tag(depth, idx, 3, round))
+		for _, v := range cur.verts {
+			cv := cmap[v]
+			for _, e := range cur.adj[v] {
+				var cu int
+				if c, ok := cmap[e.To]; ok {
+					cu = c
+				} else if c, ok := remoteCmap[e.To]; ok {
+					cu = c
+				} else {
+					continue // neighbour outside the node's subgraph
+				}
+				if cu == cv {
+					continue
+				}
+				addEdgeWeight(shifted, cv, cu, e.W)
+			}
+		}
+		chain = append(chain, levelMap{cmap: cmap})
+		prev := globalN
+		globalN = total
+		cur = shifted
+		if globalN > prev*9/10 {
+			break // coarsening stalled
+		}
+	}
+
+	// --- Gather coarsest graph to the leader and bisect. ---
+	payload := serializeChunk(cur)
+	parts := w.ctx.Gather(group, leader, w.tag(depth, idx, 4, 0), payload)
+	var pairs []float64 // broadcast as (coarse id, side) pairs
+	if w.ctx.Rank() == leader {
+		wg, ids := deserializeToWgraph(parts)
+		rng := rand.New(rand.NewSource(w.seed + int64(depth*1009+idx)))
+		p8 := bisect(wg, defaultBisectOptions(), rng)
+		pairs = make([]float64, 0, 2*len(ids))
+		for local, id := range ids {
+			pairs = append(pairs, float64(id), float64(p8[local]))
+		}
+	}
+	pairs = w.ctx.Bcast(group, leader, w.tag(depth, idx, 5, 0), pairs)
+	coarsePart := make(map[int]int8, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		coarsePart[int(pairs[i])] = int8(pairs[i+1])
+	}
+
+	// --- Project the partition down the local matching chains. ---
+	part := make(map[int]int8, len(chunk.verts))
+	for _, v := range chunk.verts {
+		id := v
+		for _, lv := range chain {
+			id = lv.cmap[id]
+		}
+		part[v] = coarsePart[id]
+	}
+
+	// --- Distributed boundary refinement (simplified parallel FM):
+	// a few rounds of one-directional greedy moves of positive-gain
+	// boundary vertices from the heavier side, with a per-rank move
+	// budget that preserves balance. ---
+	w.refineDistributed(group, chunk, part, depth, idx)
+
+	// --- Extract the minimum vertex separator at the leader. ---
+	remotePart := w.exchangeBoundary(group, chunk, toIntMap(part), w.tag(depth, idx, 6, 0))
+	var cut []float64 // tuples (v, partV, u, partU), v owned and v < u
+	for _, v := range chunk.verts {
+		pv := part[v]
+		for _, e := range chunk.adj[v] {
+			if e.To < v {
+				continue
+			}
+			var pu int8
+			if p, ok := part[e.To]; ok {
+				pu = p
+			} else if p, ok := remotePart[e.To]; ok {
+				pu = int8(p)
+			} else {
+				continue
+			}
+			if pu != pv {
+				cut = append(cut, float64(v), float64(pv), float64(e.To), float64(pu))
+			}
+		}
+	}
+	cutParts := w.ctx.Gather(group, leader, w.tag(depth, idx, 7, 0), cut)
+	var sepList []float64
+	if w.ctx.Rank() == leader {
+		sepList = leaderSeparator(cutParts)
+	}
+	sepList = w.ctx.Bcast(group, leader, w.tag(depth, idx, 8, 0), sepList)
+	sep := make(map[int]bool, len(sepList))
+	for _, f := range sepList {
+		sep[int(f)] = true
+	}
+	return part, sep, remotePart
+}
+
+// coarsenLocal matches heavy edges among owned vertices and returns
+// the (locally numbered) coarse chunk, the fine→local-coarse map and
+// the coarse count.
+func (w *dndWorker) coarsenLocal(c *dndChunk) (*dndChunk, map[int]int, int) {
+	sort.Ints(c.verts)
+	cmap := make(map[int]int, len(c.verts))
+	matched := make(map[int]bool, len(c.verts))
+	next := 0
+	for _, v := range c.verts {
+		if matched[v] {
+			continue
+		}
+		bestU, bestW := -1, -1.0
+		for _, e := range c.adj[v] {
+			if _, owned := c.weight[e.To]; owned && !matched[e.To] && e.To != v && e.W > bestW {
+				bestU, bestW = e.To, e.W
+			}
+		}
+		matched[v] = true
+		cmap[v] = next
+		if bestU != -1 {
+			matched[bestU] = true
+			cmap[bestU] = next
+		}
+		next++
+	}
+	coarse := newChunk()
+	for i := 0; i < next; i++ {
+		coarse.verts = append(coarse.verts, i)
+	}
+	for fine, cid := range cmap {
+		coarse.weight[cid] += c.weight[fine]
+	}
+	return coarse, cmap, next
+}
+
+// addEdgeWeight accumulates weight on the (possibly new) coarse edge.
+func addEdgeWeight(c *dndChunk, v, u int, wgt float64) {
+	edges := c.adj[v]
+	for i := range edges {
+		if edges[i].To == u {
+			edges[i].W += wgt
+			return
+		}
+	}
+	c.adj[v] = append(edges, graph.Edge{To: u, W: wgt})
+}
+
+// exchangeBoundary publishes (vertex, value) pairs for owned vertices
+// that have at least one neighbour outside the chunk and returns the
+// values received for remote vertices.
+func (w *dndWorker) exchangeBoundary(group []int, c *dndChunk, values map[int]int, tag int) map[int]int {
+	var out []float64
+	for _, v := range c.verts {
+		boundary := false
+		for _, e := range c.adj[v] {
+			if _, owned := c.weight[e.To]; !owned {
+				boundary = true
+				break
+			}
+		}
+		if boundary {
+			out = append(out, float64(v), float64(values[v]))
+		}
+	}
+	parts := w.ctx.Allgather(group, tag, out)
+	remote := map[int]int{}
+	for pos, part := range parts {
+		if group[pos] == w.ctx.Rank() {
+			continue
+		}
+		for i := 0; i+1 < len(part); i += 2 {
+			remote[int(part[i])] = int(part[i+1])
+		}
+	}
+	return remote
+}
+
+// allSum all-reduces a single integer over the group.
+func (w *dndWorker) allSum(group []int, v, tag int) int {
+	res := w.ctx.Allreduce(group, tag, []float64{float64(v)}, func(acc, in []float64) {
+		acc[0] += in[0]
+	})
+	return int(res[0])
+}
+
+// allGatherInts gathers small integer vectors from every member.
+func (w *dndWorker) allGatherInts(group []int, v []int, tag int) [][]int {
+	data := make([]float64, len(v))
+	for i, x := range v {
+		data[i] = float64(x)
+	}
+	parts := w.ctx.Allgather(group, tag, data)
+	out := make([][]int, len(parts))
+	for p, part := range parts {
+		out[p] = make([]int, len(part))
+		for i, f := range part {
+			out[p][i] = int(f)
+		}
+	}
+	return out
+}
+
+// serializeChunk flattens a chunk as
+// [v, weight, deg, (to, w)*deg, ...] for gathering.
+func serializeChunk(c *dndChunk) []float64 {
+	var out []float64
+	for _, v := range c.verts {
+		out = append(out, float64(v), float64(c.weight[v]), float64(len(c.adj[v])))
+		for _, e := range c.adj[v] {
+			out = append(out, float64(e.To), e.W)
+		}
+	}
+	return out
+}
+
+// deserializeToWgraph rebuilds the gathered coarse graph as a wgraph
+// for the sequential bisector; ids maps local wgraph index → global
+// coarse id.
+func deserializeToWgraph(parts [][]float64) (*wgraph, []int) {
+	type vrec struct {
+		id, weight int
+		edges      []graph.Edge
+	}
+	var recs []vrec
+	for _, part := range parts {
+		for i := 0; i < len(part); {
+			v := int(part[i])
+			wgt := int(part[i+1])
+			deg := int(part[i+2])
+			i += 3
+			edges := make([]graph.Edge, 0, deg)
+			for d := 0; d < deg; d++ {
+				edges = append(edges, graph.Edge{To: int(part[i]), W: part[i+1]})
+				i += 2
+			}
+			recs = append(recs, vrec{id: v, weight: wgt, edges: edges})
+		}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].id < recs[b].id })
+	wg := &wgraph{n: len(recs), xadj: make([]int, len(recs)+1), vwgt: make([]int, len(recs))}
+	ids := make([]int, len(recs))
+	local := map[int]int{}
+	for i, r := range recs {
+		ids[i] = r.id
+		local[r.id] = i
+		wg.vwgt[i] = r.weight
+		wg.tot += r.weight
+	}
+	for i, r := range recs {
+		wg.xadj[i] = len(wg.adj)
+		for _, e := range r.edges {
+			if li, ok := local[e.To]; ok {
+				wg.adj = append(wg.adj, li)
+				wg.ewgt = append(wg.ewgt, int(e.W))
+			}
+		}
+		_ = i
+	}
+	wg.xadj[len(recs)] = len(wg.adj)
+	return wg, ids
+}
+
+// leaderSeparator runs König's minimum vertex cover on the gathered
+// cut edges and returns the separator's global vertex ids.
+func leaderSeparator(cutParts [][]float64) []float64 {
+	local := map[int]int{}
+	var ids []int
+	var partArr []int8
+	intern := func(v int, p int8) int {
+		if li, ok := local[v]; ok {
+			return li
+		}
+		li := len(ids)
+		local[v] = li
+		ids = append(ids, v)
+		partArr = append(partArr, p)
+		return li
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	for _, part := range cutParts {
+		for i := 0; i+3 < len(part); i += 4 {
+			v, pv := int(part[i]), int8(part[i+1])
+			u, pu := int(part[i+2]), int8(part[i+3])
+			edges = append(edges, edge{a: intern(v, pv), b: intern(u, pu)})
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	mini := graph.New(len(ids))
+	for _, e := range edges {
+		mini.AddEdge(e.a, e.b, 1)
+	}
+	sep := VertexSeparator(mini, partArr)
+	var out []float64
+	for li, s := range sep {
+		if s {
+			out = append(out, float64(ids[li]))
+		}
+	}
+	return out
+}
+
+// toIntMap widens an int8-valued map for the generic boundary exchange.
+func toIntMap(m map[int]int8) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = int(v)
+	}
+	return out
+}
+
+// refineDistributed improves the projected partition with a few rounds
+// of greedy one-directional moves: each round, positive-gain boundary
+// vertices on the heavier side flip, bounded by a per-rank weight
+// budget so balance is preserved without global coordination beyond
+// one all-reduce per round. Gains use the previous round's published
+// neighbour sides, so the scheme is a conservative, deterministic
+// approximation of parallel FM.
+func (w *dndWorker) refineDistributed(group []int, chunk *dndChunk, part map[int]int8, depth, idx int) {
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		remote := w.exchangeBoundary(group, chunk, toIntMap(part), w.tag(depth, idx, 9, 2*r))
+		// Global side weights.
+		var w0, w1 int
+		for _, v := range chunk.verts {
+			if part[v] == 0 {
+				w0 += chunk.weight[v]
+			} else {
+				w1 += chunk.weight[v]
+			}
+		}
+		tot := w.ctx.Allreduce(group, w.tag(depth, idx, 9, 2*r+1),
+			[]float64{float64(w0), float64(w1)}, func(acc, in []float64) {
+				acc[0] += in[0]
+				acc[1] += in[1]
+			})
+		heavy := int8(0)
+		gap := int(tot[0] - tot[1])
+		if gap < 0 {
+			heavy = 1
+			gap = -gap
+		}
+		if gap <= 1 {
+			continue
+		}
+		budget := gap / (2 * len(group))
+		if budget < 1 {
+			budget = 1
+		}
+		sideOf := func(u int) (int8, bool) {
+			if p, ok := part[u]; ok {
+				return p, true
+			}
+			if p, ok := remote[u]; ok {
+				return int8(p), true
+			}
+			return 0, false
+		}
+		moved := 0
+		for _, v := range chunk.verts {
+			if moved >= budget || part[v] != heavy {
+				continue
+			}
+			gain := 0.0
+			for _, e := range chunk.adj[v] {
+				pu, ok := sideOf(e.To)
+				if !ok {
+					continue
+				}
+				if pu == part[v] {
+					gain -= e.W
+				} else {
+					gain += e.W
+				}
+			}
+			if gain > 0 {
+				part[v] = 1 - heavy
+				moved += chunk.weight[v]
+			}
+		}
+	}
+}

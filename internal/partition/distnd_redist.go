@@ -1,0 +1,120 @@
+package partition
+
+import "sparseapsp/internal/graph"
+
+// redistribute ships one side's vertices (with their same-side-filtered
+// adjacency) to the target half of the group, balanced contiguously by
+// global position, and returns this rank's new chunk (empty when the
+// rank is not in the target group). All members of the full group call
+// it for both sides, keeping the collective schedule aligned.
+func (w *dndWorker) redistribute(group []int, chunk *dndChunk, side []int,
+	part map[int]int8, sep map[int]bool, remotePart map[int]int, wantSide int8,
+	targetGroup []int, depth, idx, phaseBase int) *dndChunk {
+
+	counts := w.allGatherInts(group, []int{len(side)}, w.tag(depth, idx, phaseBase, 0))
+	myPos := groupIndex(group, w.ctx.Rank())
+	offset, total := 0, 0
+	offsets := make([]int, len(group))
+	for pos := range group {
+		offsets[pos] = total
+		if pos < myPos {
+			offset += counts[pos][0]
+		}
+		total += counts[pos][0]
+	}
+	out := newChunk()
+	if total == 0 {
+		return out
+	}
+	targetOf := func(globalPos int) int { return globalPos * len(targetGroup) / total }
+
+	// sideValue reports whether neighbour u survives into the side's
+	// induced subgraph.
+	keepNbr := func(u int) bool {
+		if sep[u] {
+			return false
+		}
+		if p, ok := part[u]; ok {
+			return p == wantSide
+		}
+		if p, ok := remotePart[u]; ok {
+			return int8(p) == wantSide
+		}
+		return false // outside the node's subgraph
+	}
+
+	myTarget := -1
+	for ti, r := range targetGroup {
+		if r == w.ctx.Rank() {
+			myTarget = ti
+		}
+	}
+
+	// Build per-target payloads.
+	payloads := make([][]float64, len(targetGroup))
+	for i, v := range side {
+		t := targetOf(offset + i)
+		var edges []graph.Edge
+		for _, e := range chunk.adj[v] {
+			if keepNbr(e.To) {
+				edges = append(edges, e)
+			}
+		}
+		if t == myTarget {
+			out.verts = append(out.verts, v)
+			out.weight[v] = chunk.weight[v]
+			out.adj[v] = edges
+			continue
+		}
+		payloads[t] = append(payloads[t], float64(v), float64(chunk.weight[v]), float64(len(edges)))
+		for _, e := range edges {
+			payloads[t] = append(payloads[t], float64(e.To), e.W)
+		}
+	}
+	for t, pl := range payloads {
+		if len(pl) > 0 {
+			w.ctx.Send(targetGroup[t], w.tag(depth, idx, phaseBase+1, 0), pl)
+		}
+	}
+
+	// Receive from every source whose global range contains a position
+	// mapping to my target slot (skipping myself — handled locally
+	// above). Positions mapping to slot t form the half-open interval
+	// [⌈t·total/T⌉, ⌈(t+1)·total/T⌉).
+	if myTarget >= 0 {
+		T := len(targetGroup)
+		mt0 := (myTarget*total + T - 1) / T
+		mt1 := ((myTarget+1)*total + T - 1) / T
+		for pos, r := range group {
+			if r == w.ctx.Rank() || counts[pos][0] == 0 {
+				continue
+			}
+			lo, hi := offsets[pos], offsets[pos]+counts[pos][0]
+			if lo < mt0 {
+				lo = mt0
+			}
+			if hi > mt1 {
+				hi = mt1
+			}
+			if lo >= hi {
+				continue
+			}
+			pl := w.ctx.Recv(r, w.tag(depth, idx, phaseBase+1, 0))
+			for i := 0; i < len(pl); {
+				v := int(pl[i])
+				wgt := int(pl[i+1])
+				deg := int(pl[i+2])
+				i += 3
+				edges := make([]graph.Edge, 0, deg)
+				for d := 0; d < deg; d++ {
+					edges = append(edges, graph.Edge{To: int(pl[i]), W: pl[i+1]})
+					i += 2
+				}
+				out.verts = append(out.verts, v)
+				out.weight[v] = wgt
+				out.adj[v] = edges
+			}
+		}
+	}
+	return out
+}

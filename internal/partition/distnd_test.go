@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparseapsp/internal/graph"
+)
+
+func TestDistributedNDGridInvariants(t *testing.T) {
+	g := graph.Grid2D(12, 12, graph.UnitWeights)
+	for _, tc := range []struct{ p, h int }{
+		{1, 1}, {1, 2}, {2, 2}, {4, 2}, {4, 3}, {8, 3}, {9, 3}, {16, 4}, {7, 3},
+	} {
+		res, rep, err := DistributedND(g, tc.p, tc.h, 21)
+		if err != nil {
+			t.Fatalf("p=%d h=%d: %v", tc.p, tc.h, err)
+		}
+		checkResultInvariants(t, g, res)
+		if tc.p > 1 && rep.Critical.Latency == 0 {
+			t.Errorf("p=%d h=%d: no communication measured", tc.p, tc.h)
+		}
+		if tc.h >= 2 {
+			if s := res.SeparatorSize(); s == 0 || s > 36 {
+				t.Errorf("p=%d h=%d: |S| = %d, want within (0, 36]", tc.p, tc.h, s)
+			}
+		}
+	}
+}
+
+func TestDistributedNDVariousGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cases := map[string]*graph.Graph{
+		"path":     graph.Path(40, graph.UnitWeights),
+		"cycle":    graph.Cycle(33, graph.UnitWeights),
+		"tree":     graph.RandomTree(50, graph.UnitWeights, rng),
+		"gnp":      graph.RandomGNP(60, 0.1, graph.UnitWeights, rng),
+		"complete": graph.Complete(20, graph.UnitWeights),
+		"star":     graph.Star(30, graph.UnitWeights),
+		"disconn": func() *graph.Graph {
+			g := graph.New(20)
+			for v := 0; v+1 < 10; v++ {
+				g.AddEdge(v, v+1, 1)
+			}
+			for v := 10; v+1 < 20; v++ {
+				g.AddEdge(v, v+1, 1)
+			}
+			return g
+		}(),
+		"empty":  graph.New(10),
+		"single": graph.New(1),
+		"tiny":   graph.Path(3, graph.UnitWeights),
+	}
+	for name, g := range cases {
+		for _, tc := range []struct{ p, h int }{{4, 2}, {4, 3}, {8, 3}} {
+			res, _, err := DistributedND(g, tc.p, tc.h, 5)
+			if err != nil {
+				t.Errorf("%s p=%d h=%d: %v", name, tc.p, tc.h, err)
+				continue
+			}
+			checkResultInvariants(t, g, res)
+		}
+	}
+}
+
+// The distributed ordering's separators stay within a small factor of
+// the sequential partitioner's on grids (distributed refinement brings
+// it to parity in practice; allow 2x slack for robustness to seeds).
+func TestDistributedNDQualityVsSequential(t *testing.T) {
+	for _, side := range []int{16, 20, 24} {
+		g := graph.Grid2D(side, side, graph.UnitWeights)
+		seq, err := NestedDissection(g, 3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, _, err := DistributedND(g, 8, 3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist.SeparatorSize() > 2*seq.SeparatorSize() {
+			t.Errorf("side=%d: distributed |S| = %d above 2x sequential %d",
+				side, dist.SeparatorSize(), seq.SeparatorSize())
+		}
+		if dist.MaxSeparatorSize() > 2*seq.MaxSeparatorSize()+4 {
+			t.Errorf("side=%d: distributed max separator %d above 2x sequential %d",
+				side, dist.MaxSeparatorSize(), seq.MaxSeparatorSize())
+		}
+	}
+}
+
+func TestDistributedNDRejectsBadArgs(t *testing.T) {
+	g := graph.Path(8, graph.UnitWeights)
+	if _, _, err := DistributedND(g, 0, 2, 1); err == nil {
+		t.Error("expected error for p=0")
+	}
+	if _, _, err := DistributedND(g, 4, 0, 1); err == nil {
+		t.Error("expected error for h=0")
+	}
+	// p smaller than the leaf count is fine: single-rank groups fall
+	// back to local recursion.
+	if _, _, err := DistributedND(g, 2, 4, 1); err != nil {
+		t.Errorf("p=2 h=4 should fall back to local recursion: %v", err)
+	}
+}
+
+// Determinism: same inputs, same seed, same ordering.
+func TestDistributedNDDeterministic(t *testing.T) {
+	g := graph.Grid2D(10, 10, graph.UnitWeights)
+	a, _, err := DistributedND(g, 4, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := DistributedND(g, 4, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Perm {
+		if a.Perm[v] != b.Perm[v] {
+			t.Fatalf("nondeterministic permutation at vertex %d", v)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package partition
+
+// fmRefine improves the bipartition part in place with a simplified
+// Fiduccia–Mattheyses scheme: each pass repeatedly moves the unlocked
+// boundary vertex with the best gain whose move keeps the partition
+// within the balance tolerance, locks it, and finally rolls back to the
+// best prefix of moves seen during the pass. Only boundary vertices
+// (those with a neighbour across the cut) are candidates, so a pass
+// costs O(|boundary|² + moved·degree) — cheap on the small-separator
+// graphs this repository targets — and the number of moves per pass is
+// capped to keep worst-case graphs in check.
+func fmRefine(w *wgraph, part []int8, opts bisectOptions) {
+	if w.n < 2 {
+		return
+	}
+	maxSide := int(float64(w.tot) * (0.5 + opts.imbalance))
+	if maxSide >= w.tot {
+		maxSide = w.tot - 1
+	}
+
+	gain := make([]int, w.n)
+	locked := make([]bool, w.n)
+	inCand := make([]bool, w.n)
+
+	computeGain := func(v int) int {
+		g := 0
+		nbr, ew := w.neighbors(v)
+		for i, u := range nbr {
+			if part[u] == part[v] {
+				g -= ew[i]
+			} else {
+				g += ew[i]
+			}
+		}
+		return g
+	}
+	isBoundary := func(v int) bool {
+		nbr, _ := w.neighbors(v)
+		for _, u := range nbr {
+			if part[u] != part[v] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for pass := 0; pass < opts.fmPasses; pass++ {
+		var cand []int
+		for v := 0; v < w.n; v++ {
+			locked[v] = false
+			inCand[v] = false
+		}
+		for v := 0; v < w.n; v++ {
+			if isBoundary(v) {
+				gain[v] = computeGain(v)
+				cand = append(cand, v)
+				inCand[v] = true
+			}
+		}
+		w0, w1 := w.sideWeights(part)
+		var moved []int
+		cumGain, bestGain, bestIdx := 0, 0, -1
+		maxMoves := 4*len(cand) + 64
+		if maxMoves > w.n {
+			maxMoves = w.n
+		}
+
+		for step := 0; step < maxMoves; step++ {
+			bestV, bestG := -1, 0
+			for _, v := range cand {
+				if locked[v] {
+					continue
+				}
+				var dstW int
+				if part[v] == 0 {
+					dstW = w1 + w.vwgt[v]
+				} else {
+					dstW = w0 + w.vwgt[v]
+				}
+				if dstW > maxSide {
+					continue
+				}
+				if bestV == -1 || gain[v] > bestG {
+					bestV, bestG = v, gain[v]
+				}
+			}
+			if bestV == -1 {
+				break
+			}
+			v := bestV
+			if part[v] == 0 {
+				part[v] = 1
+				w0 -= w.vwgt[v]
+				w1 += w.vwgt[v]
+			} else {
+				part[v] = 0
+				w1 -= w.vwgt[v]
+				w0 += w.vwgt[v]
+			}
+			locked[v] = true
+			cumGain += bestG
+			moved = append(moved, v)
+			if cumGain > bestGain {
+				bestGain = cumGain
+				bestIdx = len(moved) - 1
+			}
+			// Moving v flips the contribution of each incident edge in
+			// its neighbours' gains, and may promote new boundary
+			// vertices into the candidate set.
+			nbr, ew := w.neighbors(v)
+			for i, u := range nbr {
+				if locked[u] {
+					continue
+				}
+				if !inCand[u] {
+					gain[u] = computeGain(u)
+					cand = append(cand, u)
+					inCand[u] = true
+					continue
+				}
+				if part[u] == part[v] {
+					gain[u] -= 2 * ew[i]
+				} else {
+					gain[u] += 2 * ew[i]
+				}
+			}
+		}
+
+		// Roll back moves after the best prefix.
+		for i := len(moved) - 1; i > bestIdx; i-- {
+			part[moved[i]] ^= 1
+		}
+		if bestGain <= 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sparseapsp/internal/graph"
+)
+
+// Result is a nested-dissection ordering: a complete binary supernode
+// tree of height H with N = 2^H − 1 supernodes, labelled level by level
+// from the bottom as in Section 5.2 (leaves are 1..2^{H−1}, the root
+// separator is N), and the vertex permutation that makes each
+// supernode's vertices consecutive in label order.
+type Result struct {
+	H       int     // tree height (number of levels)
+	N       int     // number of supernodes, 2^H − 1
+	Super   [][]int // 1-based: Super[t] lists the original vertices of supernode t
+	Sizes   []int   // 1-based: Sizes[t] = len(Super[t])
+	Starts  []int   // 1-based: first new index of supernode t
+	Perm    []int   // old vertex id -> new vertex id
+	InvPerm []int   // new vertex id -> old vertex id
+}
+
+// LevelOffset returns the number of supernodes below level l, so level
+// l holds labels LevelOffset(l)+1 .. LevelOffset(l)+2^{H−l}.
+func (r *Result) LevelOffset(l int) int {
+	return (1 << r.H) - (1 << (r.H - l + 1))
+}
+
+// Label returns the supernode label of the i-th node (1-based) of level l.
+func (r *Result) Label(l, i int) int { return r.LevelOffset(l) + i }
+
+// SeparatorSize returns |S|, the size of the top-level separator (the
+// root supernode) — the quantity the paper's bounds are stated in.
+func (r *Result) SeparatorSize() int {
+	if r.H == 1 {
+		return 0 // no dissection happened
+	}
+	return r.Sizes[r.N]
+}
+
+// MaxSeparatorSize returns the largest separator size over all
+// non-leaf supernodes.
+func (r *Result) MaxSeparatorSize() int {
+	m := 0
+	for l := 2; l <= r.H; l++ {
+		for i := 1; i <= 1<<(r.H-l); i++ {
+			if s := r.Sizes[r.Label(l, i)]; s > m {
+				m = s
+			}
+		}
+	}
+	return m
+}
+
+// NestedDissection orders g with h levels of recursive dissection:
+// h−1 rounds of (bisect, extract vertex separator) followed by leaf
+// supernodes holding whatever remains. Supernodes may be empty on
+// small or lopsided graphs; all algorithms tolerate empty blocks.
+// The seed makes the randomized partitioner deterministic.
+func NestedDissection(g *graph.Graph, h int, seed int64) (*Result, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("partition: tree height %d < 1", h)
+	}
+	n := g.N()
+	res := &Result{
+		H:       h,
+		N:       (1 << h) - 1,
+		Perm:    make([]int, n),
+		InvPerm: make([]int, n),
+	}
+	res.Super = make([][]int, res.N+1)
+	res.Sizes = make([]int, res.N+1)
+	res.Starts = make([]int, res.N+1)
+	rng := rand.New(rand.NewSource(seed))
+	opts := defaultBisectOptions()
+
+	all := make([]int, n)
+	for v := range all {
+		all[v] = v
+	}
+
+	// assign walks the dissection tree. depth 0 is the root (eTree level
+	// h); idx is the 1-based position of the node within its level.
+	var assign func(vertices []int, depth, idx int)
+	assign = func(vertices []int, depth, idx int) {
+		level := h - depth
+		label := res.LevelOffset(level) + idx
+		if depth == h-1 {
+			res.Super[label] = vertices
+			return
+		}
+		if len(vertices) == 0 {
+			res.Super[label] = nil
+			assign(nil, depth+1, 2*idx-1)
+			assign(nil, depth+1, 2*idx)
+			return
+		}
+		sub := g.Subgraph(vertices)
+		w := fromGraph(sub)
+		part := bisect(w, opts, rng)
+		sep := VertexSeparator(sub, part)
+		var sepVerts, left, right []int
+		for i, v := range vertices {
+			switch {
+			case sep[i]:
+				sepVerts = append(sepVerts, v)
+			case part[i] == 0:
+				left = append(left, v)
+			default:
+				right = append(right, v)
+			}
+		}
+		res.Super[label] = sepVerts
+		assign(left, depth+1, 2*idx-1)
+		assign(right, depth+1, 2*idx)
+	}
+	assign(all, 0, 1)
+
+	// Build the permutation: supernodes in label order, vertices inside
+	// a supernode in ascending original id for determinism.
+	next := 0
+	for t := 1; t <= res.N; t++ {
+		sort.Ints(res.Super[t])
+		res.Starts[t] = next
+		res.Sizes[t] = len(res.Super[t])
+		for _, v := range res.Super[t] {
+			res.Perm[v] = next
+			res.InvPerm[next] = v
+			next++
+		}
+	}
+	if next != n {
+		return nil, fmt.Errorf("partition: assigned %d of %d vertices", next, n)
+	}
+	return res, nil
+}
+
+// SupernodeOf returns the supernode label owning new vertex index idx.
+func (r *Result) SupernodeOf(idx int) int {
+	// Starts is nondecreasing; binary search for the containing range.
+	lo, hi := 1, r.N
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.Starts[mid] <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	// Skip back over empty supernodes that share the same start.
+	for lo < r.N && r.Sizes[lo] == 0 {
+		lo++
+	}
+	return lo
+}
+
+// CheckSeparation verifies the structural invariant the whole algorithm
+// rests on: the *reordered* graph has no edge between supernodes that
+// are cousins in the elimination tree (Section 4.2). It returns an
+// error naming the first offending edge.
+func CheckSeparation(g *graph.Graph, r *Result) error {
+	// ancestor-or-self test via tree positions: convert label -> (level,
+	// index); t1 is an ancestor of t2 iff walking t2 up to t1's level
+	// lands on t1.
+	levelOf := func(t int) (level, idx int) {
+		for l := 1; l <= r.H; l++ {
+			off := r.LevelOffset(l)
+			if t > off && t <= off+(1<<(r.H-l)) {
+				return l, t - off
+			}
+		}
+		panic("partition: bad supernode label")
+	}
+	related := func(t1, t2 int) bool {
+		l1, i1 := levelOf(t1)
+		l2, i2 := levelOf(t2)
+		if l1 > l2 {
+			l1, i1, l2, i2 = l2, i2, l1, i1
+		}
+		// Raise (l1, i1) to level l2.
+		for l := l1; l < l2; l++ {
+			i1 = (i1 + 1) / 2
+		}
+		return i1 == i2
+	}
+	owner := make([]int, g.N())
+	for t := 1; t <= r.N; t++ {
+		for _, v := range r.Super[t] {
+			owner[v] = t
+		}
+	}
+	for _, e := range g.Edges() {
+		tu, tv := owner[e.U], owner[e.V]
+		if tu != tv && !related(tu, tv) {
+			return fmt.Errorf("partition: edge {%d,%d} joins cousin supernodes %d and %d", e.U, e.V, tu, tv)
+		}
+	}
+	return nil
+}

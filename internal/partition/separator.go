@@ -1,0 +1,120 @@
+package partition
+
+import "sparseapsp/internal/graph"
+
+// VertexSeparator converts an edge cut into a vertex separator: the cut
+// edges form a bipartite graph between the two sides' boundary
+// vertices, and by König's theorem a minimum vertex cover of it — which
+// is exactly a minimal set of vertices whose removal disconnects the
+// sides — has the size of a maximum matching. Returns sep[v] = true for
+// separator vertices. After removal, no edge joins side 0 to side 1.
+func VertexSeparator(g *graph.Graph, part []int8) []bool {
+	n := g.N()
+	// Collect boundary vertices per side and the cut edges.
+	lIndex := make(map[int]int) // side-0 boundary vertex -> L index
+	rIndex := make(map[int]int) // side-1 boundary vertex -> R index
+	var lVerts, rVerts []int
+	var cutL, cutR []int // parallel arrays of cut edges as (L index, R index)
+	for v := 0; v < n; v++ {
+		if part[v] != 0 {
+			continue
+		}
+		for _, e := range g.Adj(v) {
+			if part[e.To] != 1 {
+				continue
+			}
+			li, ok := lIndex[v]
+			if !ok {
+				li = len(lVerts)
+				lIndex[v] = li
+				lVerts = append(lVerts, v)
+			}
+			ri, ok := rIndex[e.To]
+			if !ok {
+				ri = len(rVerts)
+				rIndex[e.To] = ri
+				rVerts = append(rVerts, e.To)
+			}
+			cutL = append(cutL, li)
+			cutR = append(cutR, ri)
+		}
+	}
+	sep := make([]bool, n)
+	if len(cutL) == 0 {
+		return sep
+	}
+
+	// Bipartite adjacency L -> R.
+	ladj := make([][]int, len(lVerts))
+	for i := range cutL {
+		ladj[cutL[i]] = append(ladj[cutL[i]], cutR[i])
+	}
+
+	// Kuhn's augmenting-path maximum matching.
+	matchL := make([]int, len(lVerts)) // L index -> R index or -1
+	matchR := make([]int, len(rVerts)) // R index -> L index or -1
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var visited []bool
+	var try func(l int) bool
+	try = func(l int) bool {
+		for _, r := range ladj[l] {
+			if visited[r] {
+				continue
+			}
+			visited[r] = true
+			if matchR[r] == -1 || try(matchR[r]) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		return false
+	}
+	for l := range ladj {
+		visited = make([]bool, len(rVerts))
+		try(l)
+	}
+
+	// König: Z = vertices reachable from unmatched L vertices along
+	// alternating paths (unmatched L→R edges, matched R→L edges).
+	// Minimum vertex cover = (L \ Z) ∪ (R ∩ Z).
+	zL := make([]bool, len(lVerts))
+	zR := make([]bool, len(rVerts))
+	var stack []int
+	for l := range ladj {
+		if matchL[l] == -1 {
+			zL[l] = true
+			stack = append(stack, l)
+		}
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range ladj[l] {
+			if zR[r] || matchL[l] == r {
+				continue
+			}
+			zR[r] = true
+			if ml := matchR[r]; ml != -1 && !zL[ml] {
+				zL[ml] = true
+				stack = append(stack, ml)
+			}
+		}
+	}
+	for l, v := range lVerts {
+		if !zL[l] {
+			sep[v] = true
+		}
+	}
+	for r, v := range rVerts {
+		if zR[r] {
+			sep[v] = true
+		}
+	}
+	return sep
+}

@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"sparseapsp/internal/graph"
+)
+
+// Stats summarizes the quality of a nested-dissection ordering — the
+// quantities that determine the constants in the paper's bounds.
+type Stats struct {
+	H               int
+	N               int     // supernode count
+	TopSeparator    int     // |S| of the root
+	MaxSeparator    int     // largest separator anywhere in the tree
+	SumSeparators   int     // total vertices in non-leaf supernodes
+	MaxLeaf         int     // largest leaf supernode
+	MinLeaf         int     // smallest leaf supernode
+	LeafImbalance   float64 // max leaf / ideal leaf size
+	EmptySupernodes int
+	FillEdges       int // edges the elimination will create between related supernodes
+}
+
+// ComputeStats inspects an ordering of g.
+func ComputeStats(g *graph.Graph, r *Result) Stats {
+	s := Stats{H: r.H, N: r.N, TopSeparator: r.SeparatorSize(), MaxSeparator: r.MaxSeparatorSize()}
+	leaves := r.H - 1
+	_ = leaves
+	s.MinLeaf = -1
+	leafCount := 1 << (r.H - 1)
+	for i := 1; i <= leafCount; i++ {
+		sz := r.Sizes[i]
+		if sz > s.MaxLeaf {
+			s.MaxLeaf = sz
+		}
+		if s.MinLeaf == -1 || sz < s.MinLeaf {
+			s.MinLeaf = sz
+		}
+	}
+	for t := leafCount + 1; t <= r.N; t++ {
+		s.SumSeparators += r.Sizes[t]
+	}
+	for t := 1; t <= r.N; t++ {
+		if r.Sizes[t] == 0 {
+			s.EmptySupernodes++
+		}
+	}
+	ideal := float64(g.N()-s.SumSeparators) / float64(leafCount)
+	if ideal > 0 {
+		s.LeafImbalance = float64(s.MaxLeaf) / ideal
+	}
+	// Fill: a block (i, j) of related supernodes that holds no edge now
+	// will still be computed on; count the graph edges in related
+	// off-diagonal blocks as the "structural" edges and report the
+	// complement as fill potential, per pair of related supernodes.
+	owner := make([]int, g.N())
+	for t := 1; t <= r.N; t++ {
+		for _, v := range r.Super[t] {
+			owner[v] = t
+		}
+	}
+	type pair struct{ a, b int }
+	hasEdge := map[pair]bool{}
+	for _, e := range g.Edges() {
+		tu, tv := owner[e.U], owner[e.V]
+		if tu != tv {
+			if tu > tv {
+				tu, tv = tv, tu
+			}
+			hasEdge[pair{tu, tv}] = true
+		}
+	}
+	tr := treeOf(r)
+	for i := 1; i <= r.N; i++ {
+		for j := i + 1; j <= r.N; j++ {
+			if r.Sizes[i] == 0 || r.Sizes[j] == 0 {
+				continue
+			}
+			if tr.related(i, j) && !hasEdge[pair{i, j}] {
+				s.FillEdges += r.Sizes[i] * r.Sizes[j]
+			}
+		}
+	}
+	return s
+}
+
+// treeOf provides ancestor arithmetic over a Result's label scheme
+// without importing the etree package (which would be a cycle of
+// responsibility, not of imports — partition stays ordering-only).
+type miniTree struct{ r *Result }
+
+func treeOf(r *Result) miniTree { return miniTree{r: r} }
+
+func (t miniTree) levelOf(k int) (int, int) {
+	for l := 1; l <= t.r.H; l++ {
+		off := t.r.LevelOffset(l)
+		if k > off && k <= off+(1<<(t.r.H-l)) {
+			return l, k - off
+		}
+	}
+	panic("partition: bad label")
+}
+
+func (t miniTree) related(a, b int) bool {
+	la, ia := t.levelOf(a)
+	lb, ib := t.levelOf(b)
+	if la > lb {
+		la, ia, lb, ib = lb, ib, la, ia
+	}
+	for l := la; l < lb; l++ {
+		ia = (ia + 1) / 2
+	}
+	return ia == ib
+}
+
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "h=%d supernodes=%d |S|=%d maxSep=%d sepTotal=%d ",
+		s.H, s.N, s.TopSeparator, s.MaxSeparator, s.SumSeparators)
+	fmt.Fprintf(&sb, "leaves[min=%d max=%d imbalance=%.2f] empty=%d fillCells=%d",
+		s.MinLeaf, s.MaxLeaf, s.LeafImbalance, s.EmptySupernodes, s.FillEdges)
+	return sb.String()
+}

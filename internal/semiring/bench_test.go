@@ -1,0 +1,92 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < 0.5 {
+				m.Set(i, j, rng.Float64()*10)
+			}
+		}
+	}
+	return m
+}
+
+func BenchmarkMulAddInto(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := benchMatrix(n, rng)
+			bm := benchMatrix(n, rng)
+			c := NewMatrix(n, n)
+			b.SetBytes(int64(n) * int64(n) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulAddInto(c, a, bm)
+			}
+		})
+	}
+}
+
+func BenchmarkMulAddIntoParallel(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(1))
+	a := benchMatrix(n, rng)
+	bm := benchMatrix(n, rng)
+	c := NewMatrix(n, n)
+	b.SetBytes(int64(n) * int64(n) * 8)
+	for i := 0; i < b.N; i++ {
+		MulAddIntoParallel(c, a, bm)
+	}
+}
+
+func BenchmarkClassicalFW(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			src := benchMatrix(n, rng)
+			work := NewMatrix(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(src)
+				ClassicalFW(work)
+			}
+		})
+	}
+}
+
+func BenchmarkBlockedFW(b *testing.B) {
+	const n = 256
+	for _, blk := range []int{32, 64, 128} {
+		b.Run("b="+itoa(blk), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			src := benchMatrix(n, rng)
+			work := NewMatrix(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(src)
+				BlockedFW(work, blk)
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,228 @@
+package semiring
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Every kernel returns the number of semiring operations it performed
+// (one ⊕ plus one ⊗ per inner-loop step), so callers can charge the
+// simulated machine's flop clock and the experiments can verify the
+// F = Ω(n²|S|) operation-count bound of Lemma 6.4.
+
+// MulAddInto computes C = C ⊕ A ⊗ B. A is r×k, B is k×c, C is r×c.
+// The i-k-j loop order keeps the B row access sequential for cache
+// friendliness, and rows of A that are entirely Inf are skipped (the
+// empty-block saving of Section 4.1 at element granularity).
+func MulAddInto(c, a, b *Matrix) int64 {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("semiring: mul dims %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	var ops int64
+	for i := 0; i < a.Rows; i++ {
+		arow := a.V[i*a.Cols : (i+1)*a.Cols]
+		crow := c.V[i*c.Cols : (i+1)*c.Cols]
+		for k, aik := range arow {
+			if math.IsInf(aik, 1) {
+				continue
+			}
+			brow := b.V[k*b.Cols : (k+1)*b.Cols]
+			for j, bkj := range brow {
+				if s := aik + bkj; s < crow[j] {
+					crow[j] = s
+				}
+			}
+			ops += int64(len(brow))
+		}
+	}
+	return ops
+}
+
+// MulAddIntoFull is MulAddInto without the Inf-row skip; it always
+// performs r·k·c operations. The operation-count experiments use it to
+// measure the classical (non-avoiding) cost.
+func MulAddIntoFull(c, a, b *Matrix) int64 {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("semiring: mul dims %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.V[i*a.Cols : (i+1)*a.Cols]
+		crow := c.V[i*c.Cols : (i+1)*c.Cols]
+		for k, aik := range arow {
+			brow := b.V[k*b.Cols : (k+1)*b.Cols]
+			for j, bkj := range brow {
+				if s := aik + bkj; s < crow[j] {
+					crow[j] = s
+				}
+			}
+		}
+	}
+	return int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+}
+
+// MulAddIntoParallel is MulAddInto with the row loop split over
+// GOMAXPROCS goroutines. Distinct goroutines write disjoint row blocks
+// of C, so no synchronization beyond the final join is needed. Use it
+// for large sequential baselines; the simulated-machine algorithms use
+// the serial kernel because each rank is already a goroutine.
+func MulAddIntoParallel(c, a, b *Matrix) int64 {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("semiring: mul dims %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 {
+		return MulAddInto(c, a, b)
+	}
+	ops := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * a.Rows / workers
+		hi := (w + 1) * a.Rows / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sub := &Matrix{Rows: hi - lo, Cols: a.Cols, V: a.V[lo*a.Cols : hi*a.Cols]}
+			csub := &Matrix{Rows: hi - lo, Cols: c.Cols, V: c.V[lo*c.Cols : hi*c.Cols]}
+			ops[w] = MulAddInto(csub, sub, b)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, o := range ops {
+		total += o
+	}
+	return total
+}
+
+// ClassicalFW runs the classical Floyd–Warshall update on the square
+// matrix m in place: m_ij = m_ij ⊕ m_ik ⊗ m_kj for all k, i, j. The
+// diagonal is clamped to ⊕0 first so that a block whose diagonal was
+// never initialized still behaves as a distance matrix.
+func ClassicalFW(m *Matrix) int64 {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("semiring: ClassicalFW on %dx%d matrix", m.Rows, m.Cols))
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		if m.V[i*n+i] > 0 {
+			m.V[i*n+i] = 0
+		}
+	}
+	var ops int64
+	for k := 0; k < n; k++ {
+		krow := m.V[k*n : (k+1)*n]
+		for i := 0; i < n; i++ {
+			mik := m.V[i*n+k]
+			if math.IsInf(mik, 1) {
+				continue
+			}
+			irow := m.V[i*n : (i+1)*n]
+			for j, mkj := range krow {
+				if s := mik + mkj; s < irow[j] {
+					irow[j] = s
+				}
+			}
+			ops += int64(n)
+		}
+	}
+	return ops
+}
+
+// PanelUpdateLeft computes P = P ⊕ P ⊗ D for a column panel P (r×k) and
+// diagonal block D (k×k): the A(i,k) ← A(i,k) ⊕ A(i,k)⊗A(k,k) step of
+// the blocked algorithm. D must already be transitively closed
+// (ClassicalFW applied), which makes a single pass sufficient.
+func PanelUpdateLeft(p, d *Matrix) int64 {
+	tmp := p.Clone()
+	return MulAddInto(p, tmp, d)
+}
+
+// PanelUpdateRight computes P = P ⊕ D ⊗ P for a row panel P (k×c) and a
+// transitively closed diagonal block D (k×k).
+func PanelUpdateRight(p, d *Matrix) int64 {
+	tmp := p.Clone()
+	return MulAddInto(p, d, tmp)
+}
+
+// BlockedFW runs the blocked Floyd–Warshall algorithm of Section 3.3 on
+// the square matrix m in place with block size b: for each block pivot
+// k — diagonal update, panel updates, then the min-plus outer product.
+// It is the shared-memory reference the distributed algorithms are
+// validated against.
+func BlockedFW(m *Matrix, b int) int64 {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("semiring: BlockedFW on %dx%d matrix", m.Rows, m.Cols))
+	}
+	if b <= 0 {
+		panic("semiring: BlockedFW block size must be positive")
+	}
+	n := m.Rows
+	nb := (n + b - 1) / b
+	var ops int64
+	// view extracts block (bi, bj) as a copy.
+	view := func(bi, bj int) *Matrix {
+		r0, r1 := bi*b, min(n, (bi+1)*b)
+		c0, c1 := bj*b, min(n, (bj+1)*b)
+		blk := NewMatrix(r1-r0, c1-c0)
+		for r := r0; r < r1; r++ {
+			copy(blk.V[(r-r0)*blk.Cols:(r-r0+1)*blk.Cols], m.V[r*n+c0:r*n+c1])
+		}
+		return blk
+	}
+	store := func(bi, bj int, blk *Matrix) {
+		r0 := bi * b
+		c0 := bj * b
+		for r := 0; r < blk.Rows; r++ {
+			copy(m.V[(r0+r)*n+c0:(r0+r)*n+c0+blk.Cols], blk.V[r*blk.Cols:(r+1)*blk.Cols])
+		}
+	}
+	for k := 0; k < nb; k++ {
+		dk := view(k, k)
+		ops += ClassicalFW(dk)
+		store(k, k, dk)
+		panelsCol := make([]*Matrix, nb)
+		panelsRow := make([]*Matrix, nb)
+		for i := 0; i < nb; i++ {
+			if i == k {
+				continue
+			}
+			pc := view(i, k)
+			ops += PanelUpdateLeft(pc, dk)
+			store(i, k, pc)
+			panelsCol[i] = pc
+			pr := view(k, i)
+			ops += PanelUpdateRight(pr, dk)
+			store(k, i, pr)
+			panelsRow[i] = pr
+		}
+		for i := 0; i < nb; i++ {
+			if i == k {
+				continue
+			}
+			for j := 0; j < nb; j++ {
+				if j == k {
+					continue
+				}
+				blk := view(i, j)
+				ops += MulAddInto(blk, panelsCol[i], panelsRow[j])
+				store(i, j, blk)
+			}
+		}
+	}
+	return ops
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
