@@ -53,6 +53,26 @@ type (
 // Inf is the distance of unreachable pairs.
 var Inf = semiring.Inf
 
+// Kernel selects the min-plus compute kernel the solvers use for their
+// local block arithmetic. Every kernel produces bit-identical distances
+// and identical operation counts — the choice affects wall-clock only,
+// never the simulated communication costs.
+type Kernel = semiring.Kernel
+
+const (
+	// KernelSerial is the reference i-k-j loop (the default).
+	KernelSerial = semiring.KernelSerial
+	// KernelTiled is the cache-blocked kernel with autotuned tile sizes.
+	KernelTiled = semiring.KernelTiled
+	// KernelPooled is the tiled kernel fanned out over a persistent
+	// worker pool.
+	KernelPooled = semiring.KernelPooled
+)
+
+// ParseKernel maps a kernel name ("serial", "tiled", "pooled"; "" means
+// serial) to its Kernel value.
+var ParseKernel = semiring.ParseKernel
+
 // NewGraph returns an empty graph with n vertices; add edges with
 // AddEdge.
 func NewGraph(n int) *Graph { return graph.New(n) }
@@ -122,6 +142,12 @@ type Options struct {
 	CyclicFactor int
 	// BlockSize is the block size for SeqBlockedFW (default 64).
 	BlockSize int
+	// Kernel selects the min-plus compute kernel (KernelSerial,
+	// KernelTiled or KernelPooled). All kernels give bit-identical
+	// results and operation counts; the default serial kernel is usually
+	// right for the distributed solvers, whose ranks already run
+	// concurrently.
+	Kernel Kernel
 }
 
 // Result is a Solve outcome.
@@ -174,20 +200,23 @@ func Solve(g *Graph, opts Options) (*Result, error) {
 	}
 	switch alg {
 	case Sparse2D:
-		r, err := apsp.SparseAPSP(g, opts.P, opts.Seed)
+		if _, err := apsp.HeightForP(opts.P); err != nil {
+			return nil, invalidSparsePError(opts.P)
+		}
+		r, err := apsp.SparseAPSPWith(g, opts.P, apsp.SparseOptions{Seed: opts.Seed, Kernel: opts.Kernel})
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Dist: r.Dist, Algorithm: alg, Report: r.Report,
 			SeparatorSize: r.Layout.ND.SeparatorSize()}, nil
 	case DenseDC:
-		r, err := apsp.DCAPSP(g, opts.P, opts.CyclicFactor)
+		r, err := apsp.DCAPSPKernel(g, opts.P, opts.CyclicFactor, opts.Kernel)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Dist: r.Dist, Algorithm: alg, Report: r.Report}, nil
 	case Dense2DFW:
-		r, err := apsp.Dist2DFW(g, opts.P)
+		r, err := apsp.Dist2DFWKernel(g, opts.P, opts.Kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -199,13 +228,13 @@ func Solve(g *Graph, opts Options) (*Result, error) {
 		}
 		return &Result{Dist: r.Dist, Algorithm: alg, Report: r.Report}, nil
 	case SeqFW:
-		d, ops := apsp.FloydWarshall(g)
+		d, ops := apsp.FloydWarshallKernel(g, opts.Kernel)
 		return &Result{Dist: d, Algorithm: alg, Ops: ops}, nil
 	case SeqBlockedFW:
-		d, ops := apsp.BlockedFloydWarshall(g, opts.BlockSize)
+		d, ops := apsp.BlockedFloydWarshallKernel(g, opts.BlockSize, opts.Kernel)
 		return &Result{Dist: d, Algorithm: alg, Ops: ops}, nil
 	case SeqSuperFW:
-		r, err := apsp.SuperFW(g, opts.TreeHeight, opts.Seed)
+		r, err := apsp.SuperFWKernel(g, opts.TreeHeight, opts.Seed, opts.Kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -228,6 +257,29 @@ func Solve(g *Graph, opts Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("sparseapsp: unknown algorithm %q", alg)
 	}
+}
+
+// invalidSparsePError explains which machine sizes the sparse
+// algorithm accepts and points at the valid sizes nearest to p.
+func invalidSparsePError(p int) error {
+	limit := 4 * p
+	if limit < 961 {
+		limit = 961
+	}
+	valid := apsp.ValidSparseP(limit)
+	below, above := valid[0], valid[len(valid)-1]
+	for _, v := range valid {
+		if v < p {
+			below = v
+		} else {
+			above = v
+			break
+		}
+	}
+	if below == above {
+		return fmt.Errorf("sparseapsp: P=%d is not a valid sparse machine size: 2D-SPARSE-APSP needs p = (2^h-1)^2, i.e. one of 1, 9, 49, 225, 961, ...; nearest valid size is %d", p, above)
+	}
+	return fmt.Errorf("sparseapsp: P=%d is not a valid sparse machine size: 2D-SPARSE-APSP needs p = (2^h-1)^2, i.e. one of 1, 9, 49, 225, 961, ...; nearest valid sizes are %d and %d", p, below, above)
 }
 
 // SeparatorSize computes |S| for g: the size of the top-level vertex

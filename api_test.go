@@ -3,6 +3,7 @@ package sparseapsp
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -52,6 +53,41 @@ func TestSolveAllAlgorithmsAgree(t *testing.T) {
 		}
 		if !res.Dist.EqualTol(ref.Dist, 1e-9) {
 			t.Errorf("%s: diverges from classical FW", c.a)
+		}
+	}
+}
+
+func TestSolveRejectsInvalidSparseP(t *testing.T) {
+	g := Grid2D(8, 8, UnitWeights)
+	cases := []struct {
+		p    int
+		want []string
+	}{
+		// Between two valid sizes: name both neighbors.
+		{50, []string{
+			"P=50 is not a valid sparse machine size",
+			"p = (2^h-1)^2",
+			"1, 9, 49, 225, 961",
+			"nearest valid sizes are 49 and 225",
+		}},
+		// Below the smallest nontrivial size.
+		{2, []string{
+			"P=2 is not a valid sparse machine size",
+			"nearest valid sizes are 1 and 9",
+		}},
+		// Just past a valid size.
+		{226, []string{"nearest valid sizes are 225 and 961"}},
+	}
+	for _, c := range cases {
+		_, err := Solve(g, Options{Algorithm: Sparse2D, P: c.p})
+		if err == nil {
+			t.Errorf("P=%d: expected an error", c.p)
+			continue
+		}
+		for _, frag := range c.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("P=%d: error %q missing %q", c.p, err, frag)
+			}
 		}
 	}
 }

@@ -18,26 +18,34 @@ import (
 	"strings"
 
 	"sparseapsp/internal/harness"
+	"sparseapsp/internal/semiring"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, opcount, perlevel, balance, weak, strong, fig1")
-		sides = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
-		ps    = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
-		seed  = flag.Int64("seed", 42, "nested-dissection seed")
-		cyc   = flag.Int("cyclic", 4, "DC-APSP block-cyclic factor")
-		xn    = flag.Int("crossover-n", 576, "crossover experiment graph size")
-		xp    = flag.Int("crossover-p", 49, "crossover experiment machine size")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp    = flag.String("exp", "all", "experiment: all, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, opcount, perlevel, balance, weak, strong, fig1")
+		sides  = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
+		ps     = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
+		seed   = flag.Int64("seed", 42, "nested-dissection seed")
+		cyc    = flag.Int("cyclic", 4, "DC-APSP block-cyclic factor")
+		xn     = flag.Int("crossover-n", 576, "crossover experiment graph size")
+		xp     = flag.Int("crossover-p", 49, "crossover experiment machine size")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		kernel = flag.String("kernel", "serial", "min-plus kernel for local block arithmetic: serial, tiled, pooled (results and measured costs are identical; wall-clock only)")
 	)
 	flag.Parse()
+
+	kern, err := semiring.ParseKernel(*kernel)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := harness.Config{
 		GridSides:    parseInts(*sides),
 		Ps:           parseInts(*ps),
 		Seed:         *seed,
 		CyclicFactor: *cyc,
+		Kernel:       kern,
 	}
 
 	needSuite := map[string]bool{"all": true, "table2-memory": true,

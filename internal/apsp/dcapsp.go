@@ -33,6 +33,13 @@ import (
 // during the recursion (improves with c); c = 4 is the default used by
 // the experiments, and BenchmarkLayoutAblation sweeps it.
 func DCAPSP(g *graph.Graph, p int, cyclicFactor int) (*DistResult, error) {
+	return DCAPSPKernel(g, p, cyclicFactor, semiring.KernelSerial)
+}
+
+// DCAPSPKernel is DCAPSP with an explicit min-plus kernel for each
+// rank's local block arithmetic. Distances, operation counts and the
+// simulated cost report are identical for every kernel.
+func DCAPSPKernel(g *graph.Graph, p int, cyclicFactor int, kern semiring.Kernel) (*DistResult, error) {
 	grid, err := comm.NewSquareGrid(p)
 	if err != nil {
 		return nil, err
@@ -92,6 +99,7 @@ func DCAPSP(g *graph.Graph, p int, cyclicFactor int) (*DistResult, error) {
 			nb:    nb,
 			dim:   dim,
 			local: blocks[ctx.Rank()],
+			kern:  kern,
 		}
 		w.myI, w.myJ = grid.Coords(ctx.Rank())
 		var words int64
@@ -125,7 +133,8 @@ type dcWorker struct {
 	dim      func(int) int
 	local    map[[2]int]*semiring.Matrix
 	myI, myJ int
-	tagSeq   int // advanced identically on every rank: the recursion is deterministic
+	tagSeq   int             // advanced identically on every rank: the recursion is deterministic
+	kern     semiring.Kernel // min-plus kernel for local block arithmetic
 }
 
 // nextTag hands out a fresh tag family for one SUMMA panel phase; x
@@ -141,7 +150,7 @@ func (w *dcWorker) tag(family, x int) int { return family*4096 + x }
 func (w *dcWorker) apsp(lo, hi int) {
 	if hi-lo == 1 {
 		if blk, mine := w.local[[2]int{lo, lo}]; mine {
-			w.ctx.AddFlops(semiring.ClassicalFW(blk))
+			w.ctx.AddFlops(w.kern.ClassicalFW(blk))
 		}
 		return
 	}
@@ -204,7 +213,7 @@ func (w *dcWorker) summa(ri0, ri1, rk0, rk1, rj0, rj1 int) {
 					continue
 				}
 				bm := semiring.FromSlice(w.dim(t), w.dim(bj), colPanels[bj])
-				w.ctx.AddFlops(semiring.MulAddInto(w.local[[2]int{bi, bj}], a, bm))
+				w.ctx.AddFlops(w.kern.MulAddInto(w.local[[2]int{bi, bj}], a, bm))
 			}
 		}
 		for _, d := range rowPanels {

@@ -1,0 +1,110 @@
+package apsp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// identicalMatrices compares bit for bit: the kernel contract is
+// stronger than EqualTol.
+func identicalMatrices(a, b *semiring.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.V {
+		if math.Float64bits(a.V[i]) != math.Float64bits(b.V[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDistributedSolversKernelInvariant is the wiring contract: the
+// kernel choice must change nothing observable about a distributed run
+// — distances bit for bit, and the whole simulated cost report
+// (critical path, per-rank counters, peak memory), since the flop
+// clock charges identical operation counts. This is what keeps the
+// experiment tables byte-identical across kernels.
+func TestDistributedSolversKernelInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := graph.Grid2D(14, 14, graph.RandomWeights(rng, 1, 10))
+	const p = 9
+
+	base, err := SparseAPSPWith(g, p, SparseOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled} {
+		res, err := SparseAPSPWith(g, p, SparseOptions{Seed: 3, Kernel: kern})
+		if err != nil {
+			t.Fatalf("sparse %v: %v", kern, err)
+		}
+		if !identicalMatrices(res.Dist, base.Dist) {
+			t.Errorf("sparse %v: distances differ from serial", kern)
+		}
+		if !reflect.DeepEqual(res.Report, base.Report) {
+			t.Errorf("sparse %v: cost report differs from serial", kern)
+		}
+	}
+
+	dcBase, err := DCAPSP(g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwBase, err := Dist2DFW(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled} {
+		dc, err := DCAPSPKernel(g, 4, 2, kern)
+		if err != nil {
+			t.Fatalf("dc %v: %v", kern, err)
+		}
+		if !identicalMatrices(dc.Dist, dcBase.Dist) || !reflect.DeepEqual(dc.Report, dcBase.Report) {
+			t.Errorf("dc %v: run differs from serial", kern)
+		}
+		fw, err := Dist2DFWKernel(g, 4, kern)
+		if err != nil {
+			t.Fatalf("2dfw %v: %v", kern, err)
+		}
+		if !identicalMatrices(fw.Dist, fwBase.Dist) || !reflect.DeepEqual(fw.Report, fwBase.Report) {
+			t.Errorf("2dfw %v: run differs from serial", kern)
+		}
+	}
+}
+
+// TestSequentialSolversKernelInvariant covers the sequential wrappers:
+// same distances bit for bit and the same operation count per kernel.
+func TestSequentialSolversKernelInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.Grid2D(13, 13, graph.RandomWeights(rng, 1, 10))
+
+	fwD, fwOps := FloydWarshall(g)
+	bD, bOps := BlockedFloydWarshall(g, 32)
+	sfw, err := SuperFW(g, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled} {
+		d, ops := FloydWarshallKernel(g, kern)
+		if ops != fwOps || !identicalMatrices(d, fwD) {
+			t.Errorf("FloydWarshall %v: ops=%d want %d (or distances differ)", kern, ops, fwOps)
+		}
+		d, ops = BlockedFloydWarshallKernel(g, 32, kern)
+		if ops != bOps || !identicalMatrices(d, bD) {
+			t.Errorf("BlockedFloydWarshall %v: ops=%d want %d (or distances differ)", kern, ops, bOps)
+		}
+		r, err := SuperFWKernel(g, 3, 7, kern)
+		if err != nil {
+			t.Fatalf("SuperFW %v: %v", kern, err)
+		}
+		if r.Ops != sfw.Ops || !identicalMatrices(r.Dist, sfw.Dist) {
+			t.Errorf("SuperFW %v: ops=%d want %d (or distances differ)", kern, r.Ops, sfw.Ops)
+		}
+	}
+}

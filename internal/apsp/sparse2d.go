@@ -70,6 +70,12 @@ type SparseOptions struct {
 	// partition.DistributedND) instead of running the sequential nested
 	// dissection; its tree height must match the machine size.
 	Layout *Layout
+	// Kernel selects the min-plus kernel each rank uses for its local
+	// block arithmetic. Every kernel yields bit-identical distances and
+	// identical operation counts (so the simulated cost report does not
+	// change); the default KernelSerial is usually right because each
+	// rank is already its own goroutine.
+	Kernel semiring.Kernel
 }
 
 // SparseAPSPWith is SparseAPSP with explicit options.
@@ -98,6 +104,7 @@ func SparseAPSPWith(g *graph.Graph, p int, opts SparseOptions) (*DistResult, err
 			tr:    tr,
 			sizes: ly.ND.Sizes,
 			r4seq: opts.R4Strategy == R4Sequential,
+			kern:  opts.Kernel,
 		}
 		w.myI = ctx.Rank()/tr.N + 1
 		w.myJ = ctx.Rank()%tr.N + 1
@@ -143,8 +150,9 @@ type sparseWorker struct {
 	tr       *etree.Tree
 	sizes    []int
 	A        *semiring.Matrix
-	myI, myJ int  // 1-based supernode labels of the owned block
-	r4seq    bool // use the Section 5.2.2 "trivial strategy" for R_l^4
+	myI, myJ int             // 1-based supernode labels of the owned block
+	r4seq    bool            // use the Section 5.2.2 "trivial strategy" for R_l^4
+	kern     semiring.Kernel // min-plus kernel for local block arithmetic
 }
 
 func (w *sparseWorker) tag(l, phase, x, y int) int {
@@ -171,7 +179,7 @@ func (w *sparseWorker) level(l int) {
 
 	// ---- R_l^1: diagonal updates (Algorithm 1 line 4), local. ----
 	if w.myI == w.myJ && tr.Level(w.myI) == l {
-		w.ctx.AddFlops(semiring.ClassicalFW(w.A))
+		w.ctx.AddFlops(w.kern.ClassicalFW(w.A))
 	}
 
 	// ---- R_l^2: pivot broadcasts and panel updates (lines 5-8). ----
@@ -194,7 +202,7 @@ func (w *sparseWorker) level(l int) {
 			if w.myI != k {
 				dk := semiring.FromSlice(w.sizes[k], w.sizes[k], data)
 				w.ctx.AddMemory(int64(len(data)))
-				w.ctx.AddFlops(semiring.PanelUpdateLeft(w.A, dk))
+				w.ctx.AddFlops(w.kern.PanelUpdateLeft(w.A, dk))
 				w.ctx.AddMemory(-int64(len(data)))
 			}
 		}
@@ -212,7 +220,7 @@ func (w *sparseWorker) level(l int) {
 			if w.myJ != k {
 				dk := semiring.FromSlice(w.sizes[k], w.sizes[k], data)
 				w.ctx.AddMemory(int64(len(data)))
-				w.ctx.AddFlops(semiring.PanelUpdateRight(w.A, dk))
+				w.ctx.AddFlops(w.kern.PanelUpdateRight(w.A, dk))
 				w.ctx.AddMemory(-int64(len(data)))
 			}
 		}
@@ -263,7 +271,7 @@ func (w *sparseWorker) level(l int) {
 		}
 	}
 	if rowPanel != nil && colPanel != nil {
-		w.ctx.AddFlops(semiring.MulAddInto(w.A, rowPanel, colPanel))
+		w.ctx.AddFlops(w.kern.MulAddInto(w.A, rowPanel, colPanel))
 		w.ctx.AddMemory(-int64(len(rowPanel.V) + len(colPanel.V)))
 	}
 
@@ -321,7 +329,7 @@ func (w *sparseWorker) regionFourSequential(l int) {
 					transient += int64(len(data))
 				}
 				w.ctx.AddMemory(transient)
-				w.ctx.AddFlops(semiring.MulAddInto(w.A, aik, akj))
+				w.ctx.AddFlops(w.kern.MulAddInto(w.A, aik, akj))
 				w.ctx.AddMemory(-transient)
 			}
 		}
@@ -467,7 +475,7 @@ func (w *sparseWorker) regionFour(l int) {
 	if unitAik != nil && unitAkj != nil {
 		unit = semiring.NewMatrix(w.sizes[unitI], w.sizes[unitJ])
 		w.ctx.AddMemory(int64(len(unit.V)))
-		w.ctx.AddFlops(semiring.MulAddInto(unit, unitAik, unitAkj))
+		w.ctx.AddFlops(w.kern.MulAddInto(unit, unitAik, unitAkj))
 	}
 
 	// Reductions (line 23): the units of block (i,j) live on one

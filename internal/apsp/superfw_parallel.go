@@ -1,8 +1,6 @@
 package apsp
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"sparseapsp/internal/semiring"
@@ -13,8 +11,9 @@ import (
 // independence the distributed algorithm schedules across processors:
 // within one level, diagonal updates, panel updates, R_l^3 blocks and
 // R_l^4 blocks touch disjoint output blocks, so each region's block
-// list fans out over a goroutine pool with no locking beyond the
-// per-region join.
+// list fans out over the persistent semiring.DefaultPool workers with
+// no locking beyond the per-region join — no goroutines are spawned
+// per region or per call.
 //
 // The result is identical to SuperFW (same schedule, same block
 // arithmetic, floating-point association preserved per block); only
@@ -24,39 +23,7 @@ func SuperFWParallel(gr *Layout) (*semiring.Matrix, int64) {
 	tr := gr.Tree
 	var ops atomic.Int64
 
-	workers := runtime.GOMAXPROCS(0)
-	// forEach fans f out over [0, n) with the worker pool.
-	forEach := func(n int, f func(i int)) {
-		if n == 0 {
-			return
-		}
-		w := workers
-		if w > n {
-			w = n
-		}
-		if w <= 1 {
-			for i := 0; i < n; i++ {
-				f(i)
-			}
-			return
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for k := 0; k < w; k++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					f(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	forEach := semiring.DefaultPool.ForEach
 
 	for l := 1; l <= tr.H; l++ {
 		// R_l^1: independent diagonal blocks.

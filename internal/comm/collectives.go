@@ -9,10 +9,25 @@ import "fmt"
 // paper. Every member of the group must call the collective with the
 // same group slice (same order), the same root and the same tag.
 //
-// Tags: one collective consumes a single tag. Two collectives may share
-// a tag only if no pair of ranks exchanges messages in both at the same
-// time; the simplest safe discipline, used by all algorithms in this
-// repository, is a distinct tag per (phase, object) pair.
+// Tags: one collective consumes a single non-negative tag. Two
+// collectives may share a tag only if no pair of ranks exchanges
+// messages in both at the same time; the simplest safe discipline, used
+// by all algorithms in this repository, is a distinct tag per
+// (phase, object) pair. Fused collectives (Allreduce, Allgather,
+// Barrier) internally run two phases; the second phase uses ^tag, so
+// the negative tag space is reserved for the implementation — callers
+// may use every tag ≥ 0 freely, including consecutive ones, without
+// colliding with a fused collective's hidden phase. (Using tag+1
+// instead would break exactly that: algorithms handing out densely
+// packed tag sequences — as the distributed partitioner does — would
+// race their own next collective.)
+
+// checkTag rejects caller tags in the reserved (negative) space.
+func checkTag(tag int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("comm: collective tag %d is negative; tags < 0 are reserved for internal collective phases", tag))
+	}
+}
 
 // groupPos returns the index of rank within group, or panics: calling a
 // collective while not a member is always a programming error.
@@ -31,6 +46,13 @@ func groupPos(group []int, rank int) int {
 // value. Receivers share the payload's backing array and must treat it
 // as read-only, or copy it.
 func (c *Ctx) Bcast(group []int, root, tag int, data []float64) []float64 {
+	checkTag(tag)
+	return c.bcast(group, root, tag, data)
+}
+
+// bcast is Bcast without the tag check, so the fused collectives can
+// run their second phase on the reserved ^tag.
+func (c *Ctx) bcast(group []int, root, tag int, data []float64) []float64 {
 	q := len(group)
 	if q == 0 {
 		panic("comm: broadcast over empty group")
@@ -69,6 +91,7 @@ func (c *Ctx) Bcast(group []int, root, tag int, data []float64) []float64 {
 // used as the accumulator and modified. Root receives the reduced slice
 // as the return value; other ranks receive nil.
 func (c *Ctx) Reduce(group []int, root, tag int, data []float64, op func(acc, in []float64)) []float64 {
+	checkTag(tag)
 	q := len(group)
 	if q == 0 {
 		panic("comm: reduce over empty group")
@@ -101,6 +124,7 @@ func (c *Ctx) Reduce(group []int, root, tag int, data []float64, op func(acc, in
 // elsewhere. When the root is outside the group the result travels one
 // extra message from the group's first member.
 func (c *Ctx) ReduceTo(group []int, root, tag int, data []float64, op func(acc, in []float64)) []float64 {
+	checkTag(tag)
 	inGroup := false
 	for _, r := range group {
 		if r == c.rank {
@@ -140,10 +164,17 @@ func (c *Ctx) ReduceTo(group []int, root, tag int, data []float64, op func(acc, 
 }
 
 // Allreduce combines every member's data with op and returns the result
-// on all members (reduce to the first member, then broadcast back).
+// on all members (reduce to the first member, then broadcast back). The
+// broadcast phase runs on the reserved tag ^tag, so the reduce messages
+// of a slow member can never be matched by another member's broadcast
+// receive — the two phases were previously distinguishable only by
+// timing luck, which broke under dense caller tag sequences. Like
+// Bcast, the returned slice may share its backing array across
+// members; treat it as read-only or copy it.
 func (c *Ctx) Allreduce(group []int, tag int, data []float64, op func(acc, in []float64)) []float64 {
+	checkTag(tag)
 	res := c.Reduce(group, group[0], tag, data, op)
-	return c.Bcast(group, group[0], tag, res)
+	return c.bcast(group, group[0], ^tag, res)
 }
 
 // Barrier blocks until every member of group has reached it,
@@ -154,9 +185,12 @@ func (c *Ctx) Barrier(group []int, tag int) {
 
 // Gather collects each member's (variable-length) contribution at root.
 // Root receives a slice indexed by group position; other ranks receive
-// nil. Implemented as a binomial tree with per-contribution headers, so
-// latency is O(log q) while bandwidth at the root is the total payload.
+// nil. Every returned slice is freshly allocated and owned by the
+// caller. Implemented as a binomial tree with per-contribution headers,
+// so latency is O(log q) while bandwidth at the root is the total
+// payload.
 func (c *Ctx) Gather(group []int, root, tag int, data []float64) [][]float64 {
+	checkTag(tag)
 	q := len(group)
 	pos := groupPos(group, c.rank)
 	rootPos := groupPos(group, root)
@@ -182,19 +216,18 @@ func (c *Ctx) Gather(group []int, root, tag int, data []float64) [][]float64 {
 		}
 	}
 
-	out := make([][]float64, q)
-	for i := 0; i < len(bundle); {
-		p := int(bundle[i])
-		n := int(bundle[i+1])
-		out[p] = bundle[i+2 : i+2+n : i+2+n]
-		i += 2 + n
-	}
-	return out
+	return unpackBundle(bundle, q)
 }
 
 // Allgather collects every member's contribution on every member
-// (gather at the first member, then broadcast of the bundle).
+// (gather at the first member, then a broadcast of the bundle on the
+// reserved tag ^tag — see Allreduce for why the phases cannot share a
+// tag). Every returned slice is freshly allocated and owned by the
+// caller: the broadcast delivers one shared backing array to all
+// ranks, so returning subslices of it would let one rank's writes
+// corrupt every other rank's view.
 func (c *Ctx) Allgather(group []int, tag int, data []float64) [][]float64 {
+	checkTag(tag)
 	q := len(group)
 	parts := c.Gather(group, group[0], tag, data)
 	var bundle []float64
@@ -204,12 +237,20 @@ func (c *Ctx) Allgather(group []int, tag int, data []float64) [][]float64 {
 			bundle = append(bundle, d...)
 		}
 	}
-	bundle = c.Bcast(group, group[0], tag, bundle)
+	bundle = c.bcast(group, group[0], ^tag, bundle)
+	return unpackBundle(bundle, q)
+}
+
+// unpackBundle splits a [position, length, payload...]* bundle into
+// per-position copies. Copying is load-bearing: bundles arrive through
+// zero-copy sends and broadcasts, so subslices would alias buffers
+// shared with other ranks.
+func unpackBundle(bundle []float64, q int) [][]float64 {
 	out := make([][]float64, q)
 	for i := 0; i < len(bundle); {
 		p := int(bundle[i])
 		n := int(bundle[i+1])
-		out[p] = bundle[i+2 : i+2+n : i+2+n]
+		out[p] = append([]float64(nil), bundle[i+2:i+2+n]...)
 		i += 2 + n
 	}
 	return out

@@ -10,6 +10,7 @@ import (
 	"sparseapsp/internal/comm"
 	"sparseapsp/internal/graph"
 	"sparseapsp/internal/partition"
+	"sparseapsp/internal/semiring"
 )
 
 // Config sets the sweep dimensions. The defaults finish in a couple of
@@ -18,7 +19,8 @@ type Config struct {
 	GridSides    []int // 2D grid workloads with n = side²
 	Ps           []int // machine sizes; must be (2^h−1)² for the sparse algorithm
 	Seed         int64
-	CyclicFactor int // DC-APSP block-cyclic factor
+	CyclicFactor int             // DC-APSP block-cyclic factor
+	Kernel       semiring.Kernel // min-plus kernel for local block arithmetic
 }
 
 // DefaultConfig returns the sweep used by the benchmark suite.
@@ -56,18 +58,18 @@ func NewSuite(cfg Config) (*Suite, error) {
 		g := graph.Grid2D(side, side, graph.RandomWeights(rng, 1, 10))
 		for _, p := range cfg.Ps {
 			pt := point{Side: side, N: g.N(), P: p}
-			sp, err := apsp.SparseAPSP(g, p, cfg.Seed)
+			sp, err := apsp.SparseAPSPWith(g, p, apsp.SparseOptions{Seed: cfg.Seed, Kernel: cfg.Kernel})
 			if err != nil {
 				return nil, fmt.Errorf("sparse side=%d p=%d: %w", side, p, err)
 			}
 			pt.Sparse = sp.Report
 			pt.Sep = sp.Layout.ND.SeparatorSize()
-			dc, err := apsp.DCAPSP(g, p, cfg.CyclicFactor)
+			dc, err := apsp.DCAPSPKernel(g, p, cfg.CyclicFactor, cfg.Kernel)
 			if err != nil {
 				return nil, fmt.Errorf("dc side=%d p=%d: %w", side, p, err)
 			}
 			pt.DenseDC = dc.Report
-			fw, err := apsp.Dist2DFW(g, p)
+			fw, err := apsp.Dist2DFWKernel(g, p, cfg.Kernel)
 			if err != nil {
 				return nil, fmt.Errorf("2dfw side=%d p=%d: %w", side, p, err)
 			}
@@ -204,7 +206,7 @@ func SeparatorCost(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sp, err := apsp.SparseAPSP(g, p, cfg.Seed)
+			sp, err := apsp.SparseAPSPWith(g, p, apsp.SparseOptions{Seed: cfg.Seed, Kernel: cfg.Kernel})
 			if err != nil {
 				return nil, err
 			}
@@ -248,11 +250,11 @@ func Crossover(cfg Config, n, p int) (*Table, error) {
 		{"complete", graph.Complete(n, w)},
 	}
 	for _, wl := range workloads {
-		sp, err := apsp.SparseAPSP(wl.g, p, cfg.Seed)
+		sp, err := apsp.SparseAPSPWith(wl.g, p, apsp.SparseOptions{Seed: cfg.Seed, Kernel: cfg.Kernel})
 		if err != nil {
 			return nil, err
 		}
-		dc, err := apsp.DCAPSP(wl.g, p, cfg.CyclicFactor)
+		dc, err := apsp.DCAPSPKernel(wl.g, p, cfg.CyclicFactor, cfg.Kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +288,7 @@ func OperationCounts(cfg Config) (*Table, error) {
 		g := graph.Grid2D(side, side, graph.RandomWeights(rng, 1, 10))
 		n := g.N()
 		for _, h := range []int{2, 3, 4} {
-			res, err := apsp.SuperFW(g, h, cfg.Seed)
+			res, err := apsp.SuperFWKernel(g, h, cfg.Seed, cfg.Kernel)
 			if err != nil {
 				return nil, err
 			}
@@ -348,7 +350,7 @@ func Figure1(seed int64) (*Table, error) {
 func PerLevel(cfg Config, side, p int) (*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := graph.Grid2D(side, side, graph.RandomWeights(rng, 1, 10))
-	res, err := apsp.SparseAPSP(g, p, cfg.Seed)
+	res, err := apsp.SparseAPSPWith(g, p, apsp.SparseOptions{Seed: cfg.Seed, Kernel: cfg.Kernel})
 	if err != nil {
 		return nil, err
 	}
@@ -410,17 +412,17 @@ func LoadBalance(cfg Config, side, p int) (*Table, error) {
 		}
 		t.Add(name, fr, br, active)
 	}
-	sp, err := apsp.SparseAPSP(g, p, cfg.Seed)
+	sp, err := apsp.SparseAPSPWith(g, p, apsp.SparseOptions{Seed: cfg.Seed, Kernel: cfg.Kernel})
 	if err != nil {
 		return nil, err
 	}
 	add("2d-sparse-apsp", sp.Report)
-	dc, err := apsp.DCAPSP(g, p, cfg.CyclicFactor)
+	dc, err := apsp.DCAPSPKernel(g, p, cfg.CyclicFactor, cfg.Kernel)
 	if err != nil {
 		return nil, err
 	}
 	add("2d-dc-apsp", dc.Report)
-	fw, err := apsp.Dist2DFW(g, p)
+	fw, err := apsp.Dist2DFWKernel(g, p, cfg.Kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -446,11 +448,11 @@ func WeakScaling(cfg Config) (*Table, error) {
 	for _, c := range cases {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		g := graph.Grid2D(c.side, c.side, graph.RandomWeights(rng, 1, 10))
-		sp, err := apsp.SparseAPSP(g, c.p, cfg.Seed)
+		sp, err := apsp.SparseAPSPWith(g, c.p, apsp.SparseOptions{Seed: cfg.Seed, Kernel: cfg.Kernel})
 		if err != nil {
 			return nil, err
 		}
-		dc, err := apsp.DCAPSP(g, c.p, cfg.CyclicFactor)
+		dc, err := apsp.DCAPSPKernel(g, c.p, cfg.CyclicFactor, cfg.Kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -480,7 +482,7 @@ func StrongScaling(cfg Config, side int) (*Table, error) {
 		Columns: []string{"p", "total_flops", "critical_flops", "speedup", "efficiency"},
 	}
 	for _, p := range cfg.Ps {
-		sp, err := apsp.SparseAPSP(g, p, cfg.Seed)
+		sp, err := apsp.SparseAPSPWith(g, p, apsp.SparseOptions{Seed: cfg.Seed, Kernel: cfg.Kernel})
 		if err != nil {
 			return nil, err
 		}

@@ -77,6 +77,58 @@ func BenchmarkBlockedFW(b *testing.B) {
 	}
 }
 
+// BenchmarkMinPlusKernels is the kernel-layer headline: serial vs
+// tiled vs pooled min-plus multiply on square matrices up to
+// 1024×1024, plus a tile-size sweep for the tiled kernel. Operation
+// counts are asserted identical across kernels on every iteration, so
+// the benchmark doubles as a large-shape regression check.
+func BenchmarkMinPlusKernels(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		rng := rand.New(rand.NewSource(5))
+		a := benchMatrix(n, rng)
+		bm := benchMatrix(n, rng)
+		c := NewMatrix(n, n)
+		want := MulAddInto(c.Clone(), a, bm)
+		kernels := []struct {
+			name string
+			f    func(c, a, b *Matrix) int64
+		}{
+			{"serial", MulAddInto},
+			{"tiled", MulAddIntoTiled},
+			{"pooled", MulAddIntoPooled},
+		}
+		for _, k := range kernels {
+			b.Run(k.name+"/n="+itoa(n), func(b *testing.B) {
+				b.SetBytes(8 * int64(n) * int64(n))
+				for i := 0; i < b.N; i++ {
+					if ops := k.f(c, a, bm); ops != want {
+						b.Fatalf("%s ops=%d, serial=%d", k.name, ops, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMinPlusTileSizes sweeps the tiled kernel's (k, j) tile shape
+// on a 1024×1024 multiply — the data behind the autotune's candidates.
+func BenchmarkMinPlusTileSizes(b *testing.B) {
+	const n = 1024
+	rng := rand.New(rand.NewSource(6))
+	a := benchMatrix(n, rng)
+	bm := benchMatrix(n, rng)
+	c := NewMatrix(n, n)
+	for _, tile := range [][2]int{{32, 256}, {64, 256}, {64, 512}, {128, 512}, {256, 1024}} {
+		b.Run("tk="+itoa(tile[0])+"/tj="+itoa(tile[1]), func(b *testing.B) {
+			SetTileSizes(tile[0], tile[1])
+			defer SetTileSizes(0, 0)
+			for i := 0; i < b.N; i++ {
+				MulAddIntoTiled(c, a, bm)
+			}
+		})
+	}
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

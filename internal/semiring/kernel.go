@@ -1,0 +1,95 @@
+package semiring
+
+import "fmt"
+
+// Kernel selects a min-plus compute kernel implementation. Every
+// kernel produces bit-identical matrices and identical operation
+// counts — the choice affects wall-clock only, never the flop clock or
+// any simulated communication, so experiment tables are byte-identical
+// across kernels. Callers pick explicitly:
+//
+//	KernelSerial  the reference i-k-j loop (default; the simulated
+//	              ranks use it because each rank is already a goroutine)
+//	KernelTiled   cache-blocked panels with a register-blocked inner
+//	              kernel, tile sizes from a one-time autotune
+//	KernelPooled  the tiled kernel fanned out over the persistent
+//	              DefaultPool worker set
+type Kernel int
+
+const (
+	KernelSerial Kernel = iota
+	KernelTiled
+	KernelPooled
+)
+
+// Kernels lists every selectable kernel, in parse-name order.
+func Kernels() []Kernel { return []Kernel{KernelSerial, KernelTiled, KernelPooled} }
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelSerial:
+		return "serial"
+	case KernelTiled:
+		return "tiled"
+	case KernelPooled:
+		return "pooled"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel maps a kernel name ("serial", "tiled", "pooled"; "" means
+// serial) to its Kernel value.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "serial":
+		return KernelSerial, nil
+	case "tiled":
+		return KernelTiled, nil
+	case "pooled":
+		return KernelPooled, nil
+	default:
+		return 0, fmt.Errorf("semiring: unknown kernel %q (valid: serial, tiled, pooled)", s)
+	}
+}
+
+// MulAddInto computes C = C ⊕ A ⊗ B with the selected kernel.
+func (k Kernel) MulAddInto(c, a, b *Matrix) int64 {
+	switch k {
+	case KernelTiled:
+		return MulAddIntoTiled(c, a, b)
+	case KernelPooled:
+		return MulAddIntoPooled(c, a, b)
+	default:
+		return MulAddInto(c, a, b)
+	}
+}
+
+// PanelUpdateLeft computes P = P ⊕ P ⊗ D with the selected kernel.
+func (k Kernel) PanelUpdateLeft(p, d *Matrix) int64 {
+	tmp := p.Clone()
+	return k.MulAddInto(p, tmp, d)
+}
+
+// PanelUpdateRight computes P = P ⊕ D ⊗ P with the selected kernel.
+func (k Kernel) PanelUpdateRight(p, d *Matrix) int64 {
+	tmp := p.Clone()
+	return k.MulAddInto(p, d, tmp)
+}
+
+// ClassicalFW runs the Floyd–Warshall update with the selected kernel.
+// The pivot loop is inherently sequential, so KernelTiled falls back to
+// the serial loop (the pivot row already streams cache-friendly);
+// KernelPooled parallelizes each pivot step's independent row updates.
+func (k Kernel) ClassicalFW(m *Matrix) int64 {
+	if k == KernelPooled {
+		return classicalFWPooled(DefaultPool, m)
+	}
+	return ClassicalFW(m)
+}
+
+// BlockedFW runs the blocked Floyd–Warshall with block size b, using
+// the selected kernel for the diagonal, panel and outer-product steps.
+func (k Kernel) BlockedFW(m *Matrix, b int) int64 {
+	return BlockedFWKernel(m, b, k)
+}

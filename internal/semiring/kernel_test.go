@@ -1,0 +1,222 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randKernelMatrix builds an r×c matrix with the given Inf density;
+// finite entries are small nonnegative floats like edge weights.
+func randKernelMatrix(r, c int, infFrac float64, rng *rand.Rand) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.V {
+		if rng.Float64() >= infFrac {
+			m.V[i] = rng.Float64() * 16
+		}
+	}
+	return m
+}
+
+// bitIdentical reports whether two matrices match bit for bit (stricter
+// than Equal: distinguishes -0 from +0 and compares NaN payloads).
+func bitIdentical(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.V {
+		if math.Float64bits(a.V[i]) != math.Float64bits(b.V[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKernelsMatchSerial is the contract of the kernel layer: tiled and
+// pooled MulAddInto produce bit-identical output and identical
+// operation counts to the serial reference, across random shapes,
+// Inf-padded rows and degenerate (0-row / 0-col) matrices.
+func TestKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{0, 0, 0}, {0, 5, 3}, {5, 0, 3}, {5, 3, 0}, {1, 1, 1},
+	}
+	for trial := 0; trial < 40; trial++ {
+		shapes = append(shapes, [3]int{rng.Intn(70), rng.Intn(70), rng.Intn(70)})
+	}
+	// Force small tiles so tile boundaries land inside the test shapes,
+	// then restore the autotune for other tests.
+	SetTileSizes(8, 16)
+	defer SetTileSizes(0, 0)
+	for _, sh := range shapes {
+		r, k, c := sh[0], sh[1], sh[2]
+		for _, infFrac := range []float64{0, 0.3, 1} {
+			a := randKernelMatrix(r, k, infFrac, rng)
+			b := randKernelMatrix(k, c, infFrac, rng)
+			// Inf-pad a few whole rows of A: the serial kernel's
+			// empty-row skip must be reproduced op-for-op.
+			for i := 0; i < r; i++ {
+				if rng.Intn(4) == 0 {
+					for j := 0; j < k; j++ {
+						a.Set(i, j, Inf)
+					}
+				}
+			}
+			cInit := randKernelMatrix(r, c, 0.5, rng)
+			want := cInit.Clone()
+			wantOps := MulAddInto(want, a, b)
+			for _, kern := range []Kernel{KernelTiled, KernelPooled} {
+				got := cInit.Clone()
+				gotOps := kern.MulAddInto(got, a, b)
+				if gotOps != wantOps {
+					t.Fatalf("%v kernel %dx%dx%d infFrac=%g: ops=%d, serial=%d",
+						kern, r, k, c, infFrac, gotOps, wantOps)
+				}
+				if !bitIdentical(got, want) {
+					t.Fatalf("%v kernel %dx%dx%d infFrac=%g: result differs from serial",
+						kern, r, k, c, infFrac)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelClassicalFWMatchesSerial locks the pooled Floyd–Warshall
+// (per-pivot row fan-out) to the serial reference, including above the
+// size threshold where the pool actually engages.
+func TestKernelClassicalFWMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 17, 64, 200} {
+		m := randKernelMatrix(n, n, 0.6, rng)
+		want := m.Clone()
+		wantOps := ClassicalFW(want)
+		for _, kern := range []Kernel{KernelTiled, KernelPooled} {
+			got := m.Clone()
+			gotOps := kern.ClassicalFW(got)
+			if gotOps != wantOps {
+				t.Fatalf("%v ClassicalFW n=%d: ops=%d, serial=%d", kern, n, gotOps, wantOps)
+			}
+			if !bitIdentical(got, want) {
+				t.Fatalf("%v ClassicalFW n=%d: result differs from serial", kern, n)
+			}
+		}
+	}
+}
+
+// TestKernelBlockedFWMatchesSerial checks the full blocked algorithm
+// under every kernel, across block sizes that do and don't divide n.
+func TestKernelBlockedFWMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 75
+	m := randKernelMatrix(n, n, 0.7, rng)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
+	}
+	want := m.Clone()
+	wantOps := BlockedFW(want, 16)
+	for _, kern := range []Kernel{KernelTiled, KernelPooled} {
+		for _, b := range []int{16, 25, 80} {
+			got := m.Clone()
+			ref := m.Clone()
+			refOps := BlockedFW(ref, b)
+			gotOps := BlockedFWKernel(got, b, kern)
+			if gotOps != refOps {
+				t.Fatalf("%v BlockedFW b=%d: ops=%d, serial=%d", kern, b, gotOps, refOps)
+			}
+			if !bitIdentical(got, ref) {
+				t.Fatalf("%v BlockedFW b=%d: result differs from serial", kern, b)
+			}
+		}
+	}
+	// All block sizes close to the same distances (up to FP association).
+	got := m.Clone()
+	BlockedFWKernel(got, 25, KernelPooled)
+	if !got.EqualTol(want, 1e-9) {
+		_ = wantOps
+		t.Fatal("BlockedFW closures differ across block sizes")
+	}
+}
+
+// TestPanelUpdatesMatchSerial covers the kernel panel-update wrappers.
+func TestPanelUpdatesMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pL := randKernelMatrix(40, 13, 0.4, rng) // column panel: r×k
+	pR := randKernelMatrix(13, 40, 0.4, rng) // row panel: k×c
+	d := randKernelMatrix(13, 13, 0.4, rng)
+	ClassicalFW(d)
+	wantL := pL.Clone()
+	wantLOps := PanelUpdateLeft(wantL, d)
+	wantR := pR.Clone()
+	wantROps := PanelUpdateRight(wantR, d)
+	for _, kern := range []Kernel{KernelTiled, KernelPooled} {
+		gotL := pL.Clone()
+		if ops := kern.PanelUpdateLeft(gotL, d); ops != wantLOps || !bitIdentical(gotL, wantL) {
+			t.Fatalf("%v PanelUpdateLeft mismatch (ops=%d want %d)", kern, ops, wantLOps)
+		}
+		gotR := pR.Clone()
+		if ops := kern.PanelUpdateRight(gotR, d); ops != wantROps || !bitIdentical(gotR, wantR) {
+			t.Fatalf("%v PanelUpdateRight mismatch (ops=%d want %d)", kern, ops, wantROps)
+		}
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	for _, k := range Kernels() {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKernel(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := ParseKernel(""); err != nil || k != KernelSerial {
+		t.Fatalf("ParseKernel(\"\") = %v, %v; want serial", k, err)
+	}
+	if _, err := ParseKernel("simd"); err == nil {
+		t.Fatal("ParseKernel(\"simd\"): expected error")
+	}
+}
+
+func TestSetTileSizesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTileSizes(8, 0): expected panic")
+		}
+		SetTileSizes(0, 0)
+	}()
+	SetTileSizes(8, 0)
+}
+
+// TestPoolForEachCoversAllIndices exercises the pool under nesting (a
+// pooled call inside a pooled call must not deadlock) and checks every
+// index runs exactly once.
+func TestPoolForEachCoversAllIndices(t *testing.T) {
+	p := NewPool(3)
+	outer := make([]int32, 50)
+	p.ForEach(len(outer), func(i int) {
+		inner := make([]int32, 20)
+		p.ForEach(len(inner), func(j int) { inner[j]++ })
+		for j, v := range inner {
+			if v != 1 {
+				t.Errorf("nested index %d ran %d times", j, v)
+			}
+		}
+		outer[i]++
+	})
+	for i, v := range outer {
+		if v != 1 {
+			t.Errorf("index %d ran %d times", i, v)
+		}
+	}
+}
+
+func TestMulAddIntoParallelPoolMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randKernelMatrix(61, 33, 0.3, rng)
+	b := randKernelMatrix(33, 47, 0.3, rng)
+	c1 := randKernelMatrix(61, 47, 0.5, rng)
+	c2 := c1.Clone()
+	ops1 := MulAddInto(c1, a, b)
+	ops2 := MulAddIntoParallel(c2, a, b)
+	if ops1 != ops2 || !bitIdentical(c1, c2) {
+		t.Fatalf("MulAddIntoParallel diverges from serial (ops %d vs %d)", ops2, ops1)
+	}
+}

@@ -3,8 +3,6 @@ package semiring
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Every kernel returns the number of semiring operations it performed
@@ -64,17 +62,18 @@ func MulAddIntoFull(c, a, b *Matrix) int64 {
 	return int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
 }
 
-// MulAddIntoParallel is MulAddInto with the row loop split over
-// GOMAXPROCS goroutines. Distinct goroutines write disjoint row blocks
-// of C, so no synchronization beyond the final join is needed. Use it
-// for large sequential baselines; the simulated-machine algorithms use
-// the serial kernel because each rank is already a goroutine.
+// MulAddIntoParallel is MulAddInto with the row loop split over the
+// persistent DefaultPool workers. Distinct bands write disjoint row
+// blocks of C, so no synchronization beyond the final join is needed.
+// Use it for large sequential baselines; the simulated-machine
+// algorithms use the serial kernel because each rank is already a
+// goroutine. MulAddIntoPooled additionally tiles each band.
 func MulAddIntoParallel(c, a, b *Matrix) int64 {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("semiring: mul dims %dx%d * %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := DefaultPool.Size()
 	if workers > a.Rows {
 		workers = a.Rows
 	}
@@ -82,19 +81,13 @@ func MulAddIntoParallel(c, a, b *Matrix) int64 {
 		return MulAddInto(c, a, b)
 	}
 	ops := make([]int64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	DefaultPool.ForEach(workers, func(w int) {
 		lo := w * a.Rows / workers
 		hi := (w + 1) * a.Rows / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			sub := &Matrix{Rows: hi - lo, Cols: a.Cols, V: a.V[lo*a.Cols : hi*a.Cols]}
-			csub := &Matrix{Rows: hi - lo, Cols: c.Cols, V: c.V[lo*c.Cols : hi*c.Cols]}
-			ops[w] = MulAddInto(csub, sub, b)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		sub := &Matrix{Rows: hi - lo, Cols: a.Cols, V: a.V[lo*a.Cols : hi*a.Cols]}
+		csub := &Matrix{Rows: hi - lo, Cols: c.Cols, V: c.V[lo*c.Cols : hi*c.Cols]}
+		ops[w] = MulAddInto(csub, sub, b)
+	})
 	var total int64
 	for _, o := range ops {
 		total += o
@@ -158,6 +151,13 @@ func PanelUpdateRight(p, d *Matrix) int64 {
 // It is the shared-memory reference the distributed algorithms are
 // validated against.
 func BlockedFW(m *Matrix, b int) int64 {
+	return BlockedFWKernel(m, b, KernelSerial)
+}
+
+// BlockedFWKernel is BlockedFW with an explicit kernel choice for the
+// diagonal, panel and outer-product steps. Results and operation
+// counts are identical for every kernel.
+func BlockedFWKernel(m *Matrix, b int, kern Kernel) int64 {
 	if m.Rows != m.Cols {
 		panic(fmt.Sprintf("semiring: BlockedFW on %dx%d matrix", m.Rows, m.Cols))
 	}
@@ -186,7 +186,7 @@ func BlockedFW(m *Matrix, b int) int64 {
 	}
 	for k := 0; k < nb; k++ {
 		dk := view(k, k)
-		ops += ClassicalFW(dk)
+		ops += kern.ClassicalFW(dk)
 		store(k, k, dk)
 		panelsCol := make([]*Matrix, nb)
 		panelsRow := make([]*Matrix, nb)
@@ -195,11 +195,11 @@ func BlockedFW(m *Matrix, b int) int64 {
 				continue
 			}
 			pc := view(i, k)
-			ops += PanelUpdateLeft(pc, dk)
+			ops += kern.PanelUpdateLeft(pc, dk)
 			store(i, k, pc)
 			panelsCol[i] = pc
 			pr := view(k, i)
-			ops += PanelUpdateRight(pr, dk)
+			ops += kern.PanelUpdateRight(pr, dk)
 			store(k, i, pr)
 			panelsRow[i] = pr
 		}
@@ -212,7 +212,7 @@ func BlockedFW(m *Matrix, b int) int64 {
 					continue
 				}
 				blk := view(i, j)
-				ops += MulAddInto(blk, panelsCol[i], panelsRow[j])
+				ops += kern.MulAddInto(blk, panelsCol[i], panelsRow[j])
 				store(i, j, blk)
 			}
 		}
