@@ -29,6 +29,7 @@ import (
 	"sparseapsp/internal/apsp"
 	"sparseapsp/internal/comm"
 	"sparseapsp/internal/graph"
+	"sparseapsp/internal/oracle"
 	"sparseapsp/internal/partition"
 	"sparseapsp/internal/semiring"
 )
@@ -297,11 +298,84 @@ func SeparatorSize(g *Graph, seed int64) (int, error) {
 // actual shortest paths (see SolveWithPaths).
 type PathResult = apsp.PathResult
 
+// SolveWithPathsOptions computes APSP with path reconstruction using
+// the solver, machine size and kernel selected by opts — any Solve
+// configuration works, including the distributed SparseAPSP. The
+// successor structure is extracted from the finished distance matrix
+// (see internal/apsp.SuccessorsFromDist), so Path(u, v) queries run in
+// time proportional to the path length regardless of the solver.
+//
+// Unlike the legacy SolveWithPaths it validates its input: a nil graph
+// or a negative edge weight (a negative cycle in an undirected graph,
+// the same policy Solve applies through Johnson) returns an error
+// instead of panicking.
+func SolveWithPathsOptions(g *Graph, opts Options) (*PathResult, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sparseapsp: SolveWithPaths: nil graph")
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Adj(u) {
+			if e.W < 0 {
+				return nil, fmt.Errorf("sparseapsp: SolveWithPaths: negative edge {%d,%d} weight %g is a negative cycle in an undirected graph", u, e.To, e.W)
+			}
+		}
+	}
+	res, err := Solve(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return apsp.SuccessorsFromDist(g, res.Dist)
+}
+
 // SolveWithPaths computes APSP with path reconstruction: the returned
 // result answers Path(u, v) queries in time proportional to the path
-// length. Sequential (classical Floyd–Warshall with successors).
+// length. Sequential (classical Floyd–Warshall with successors). It is
+// a thin wrapper around SolveWithPathsOptions; use that variant to
+// pick a solver/kernel and to get errors instead of panics.
 func SolveWithPaths(g *Graph) *PathResult {
 	return apsp.FloydWarshallPaths(g)
+}
+
+// PathWeight sums the edge weights of path in g, returning Inf for an
+// empty or invalid (edge-missing) path — useful for verifying returned
+// paths against the distance matrix.
+var PathWeight = apsp.PathWeight
+
+// Oracle is a solved graph serving concurrent Dist / Path / BatchDist /
+// BatchPath queries from the retained distance matrix and successor
+// structure (see internal/oracle).
+type Oracle = oracle.Oracle
+
+// OracleRegistry caches oracles by graph fingerprint with singleflight
+// solve coalescing and LRU eviction under a memory budget.
+type OracleRegistry = oracle.Registry
+
+// OracleStats is a snapshot of a registry's counters.
+type OracleStats = oracle.Stats
+
+// GraphFingerprint computes the content fingerprint used as the oracle
+// cache key (and as the graph id of cmd/apspd).
+func GraphFingerprint(g *Graph) oracle.Fingerprint { return oracle.FingerprintOf(g) }
+
+// oracleSolver adapts Solve + successor extraction to the oracle
+// package's solver interface.
+func oracleSolver(opts Options) oracle.SolveFunc {
+	return func(g *Graph) (*PathResult, error) {
+		return SolveWithPathsOptions(g, opts)
+	}
+}
+
+// NewOracle solves g once with the configuration in opts and returns a
+// distance oracle over the result.
+func NewOracle(g *Graph, opts Options) (*Oracle, error) {
+	return oracle.New(g, oracleSolver(opts), nil)
+}
+
+// NewOracleRegistry returns an oracle cache that solves graphs on
+// demand with the configuration in opts, retaining at most budgetBytes
+// of solved results (<= 0 means unlimited).
+func NewOracleRegistry(opts Options, budgetBytes int64) *OracleRegistry {
+	return oracle.NewRegistry(oracle.Config{Solve: oracleSolver(opts), MemoryBudget: budgetBytes})
 }
 
 // VerifyDistances cheaply certifies that d looks like a correct APSP

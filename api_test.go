@@ -144,3 +144,97 @@ func TestSeparatorSizeGrid(t *testing.T) {
 		t.Errorf("grid separator = %d, want Θ(16)", s)
 	}
 }
+
+func TestSolveWithPathsOptionsAcrossSolvers(t *testing.T) {
+	g := Grid2D(7, 7, UnitWeights)
+	want := SolveWithPaths(g)
+	for _, opts := range []Options{
+		{Algorithm: SeqFW},
+		{Algorithm: SeqBlockedFW, BlockSize: 8},
+		{Algorithm: SeqSuperFW},
+		{Algorithm: Sparse2D, P: 9},
+		{Algorithm: SeqFW, Kernel: KernelTiled},
+		{Algorithm: SeqFW, Kernel: KernelPooled},
+	} {
+		pr, err := SolveWithPathsOptions(g, opts)
+		if err != nil {
+			t.Errorf("%s: %v", opts.Algorithm, err)
+			continue
+		}
+		if !pr.Dist.EqualTol(want.Dist, 1e-9) {
+			t.Errorf("%s: distances diverge from FloydWarshallPaths", opts.Algorithm)
+			continue
+		}
+		for _, q := range [][2]int{{0, 48}, {6, 42}, {3, 3}, {48, 0}} {
+			path := pr.Path(q[0], q[1])
+			if len(path) == 0 || path[0] != q[0] || path[len(path)-1] != q[1] {
+				t.Errorf("%s: Path(%d,%d) = %v: bad endpoints", opts.Algorithm, q[0], q[1], path)
+				continue
+			}
+			if got, ref := PathWeight(g, path), want.Dist.At(q[0], q[1]); math.Abs(got-ref) > 1e-9 {
+				t.Errorf("%s: Path(%d,%d) weight %g, want %g", opts.Algorithm, q[0], q[1], got, ref)
+			}
+		}
+	}
+}
+
+func TestSolveWithPathsOptionsValidates(t *testing.T) {
+	if _, err := SolveWithPathsOptions(nil, Options{}); err == nil {
+		t.Error("nil graph: want error")
+	}
+	neg := NewGraph(2)
+	neg.AddEdge(0, 1, -3)
+	if _, err := SolveWithPathsOptions(neg, Options{}); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative edge: err = %v, want negative-cycle error", err)
+	}
+	g := Grid2D(4, 4, UnitWeights)
+	if _, err := SolveWithPathsOptions(g, Options{Algorithm: Sparse2D, P: 16}); err == nil {
+		t.Error("invalid sparse P: want error")
+	}
+	if _, err := SolveWithPathsOptions(g, Options{Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+}
+
+func TestNewOracleServesQueries(t *testing.T) {
+	g := Grid2D(6, 6, UnitWeights)
+	o, err := NewOracle(g, Options{Algorithm: SeqBlockedFW, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SolveWithPaths(g)
+	d, err := o.Dist(0, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref := want.Dist.At(0, 35); d != ref {
+		t.Errorf("Dist(0,35) = %g, want %g", d, ref)
+	}
+	paths, err := o.BatchPath([][2]int{{0, 35}, {5, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range [][2]int{{0, 35}, {5, 30}} {
+		if w := PathWeight(g, paths[i]); w != want.Dist.At(q[0], q[1]) {
+			t.Errorf("batch path %d weight %g, want %g", i, w, want.Dist.At(q[0], q[1]))
+		}
+	}
+}
+
+func TestNewOracleRegistryCoalescesAndCounts(t *testing.T) {
+	g := Grid2D(5, 5, UnitWeights)
+	reg := NewOracleRegistry(Options{Algorithm: SeqFW}, 0)
+	if _, err := reg.Get(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(g.Clone()); err != nil { // same fingerprint
+		t.Fatal(err)
+	}
+	st := reg.Stats()
+	if st.Solves != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 solve, 1 hit, 1 miss", st)
+	}
+	if fp := GraphFingerprint(g); fp != GraphFingerprint(g.Clone()) {
+		t.Error("clone changed the fingerprint")
+	}
+}

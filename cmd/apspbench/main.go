@@ -23,15 +23,16 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, opcount, perlevel, balance, weak, strong, fig1")
-		sides  = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
-		ps     = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
-		seed   = flag.Int64("seed", 42, "nested-dissection seed")
-		cyc    = flag.Int("cyclic", 4, "DC-APSP block-cyclic factor")
-		xn     = flag.Int("crossover-n", 576, "crossover experiment graph size")
-		xp     = flag.Int("crossover-p", 49, "crossover experiment machine size")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		kernel = flag.String("kernel", "serial", "min-plus kernel for local block arithmetic: serial, tiled, pooled (results and measured costs are identical; wall-clock only)")
+		exp     = flag.String("exp", "all", "experiment: all, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, opcount, perlevel, balance, weak, strong, fig1")
+		sides   = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
+		ps      = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
+		seed    = flag.Int64("seed", 42, "nested-dissection seed")
+		cyc     = flag.Int("cyclic", 4, "DC-APSP block-cyclic factor")
+		xn      = flag.Int("crossover-n", 576, "crossover experiment graph size")
+		xp      = flag.Int("crossover-p", 49, "crossover experiment machine size")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = flag.String("json", "", "also write all experiment tables as machine-readable JSON to this file")
+		kernel  = flag.String("kernel", "serial", "min-plus kernel for local block arithmetic: serial, tiled, pooled (results and measured costs are identical; wall-clock only)")
 	)
 	flag.Parse()
 
@@ -61,10 +62,12 @@ func main() {
 		}
 	}
 
+	var collected []*harness.Table
 	show := func(name string, t *harness.Table, err error) {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
+		collected = append(collected, t)
 		if *csv {
 			fmt.Printf("# %s: %s\n", t.ID, t.Title)
 			if err := t.WriteCSV(os.Stdout); err != nil {
@@ -134,9 +137,23 @@ func main() {
 			"factors", "lower", "sepcost", "crossover", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteJSON(f, collected); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d experiment tables to %s\n", len(collected), *jsonOut)
+	}
 }
 
 func parseInts(s string) []int {

@@ -1,0 +1,93 @@
+// Command apspd is the distance-oracle query server: it keeps solved
+// APSP results behind an HTTP JSON API so the expensive solve is paid
+// once per graph and amortized over many point/path queries — the
+// precompute-once / query-many shape of road-network workloads.
+//
+// Endpoints:
+//
+//	POST /load      edge-list text or JSON {"n": 9, "edges": [[0,1,2.5], ...]}
+//	POST /generate  {"kind": "grid", "n": 1024, "seed": 42}
+//	POST /query     {"graph": "<id>", "pairs": [[0, 8], ...], "paths": true}
+//	GET  /statsz    registry + per-endpoint counters
+//	GET  /healthz   liveness probe
+//
+// /load and /generate solve the graph through the shared registry:
+// concurrent requests for the same graph coalesce into exactly one
+// solve, and solved results are retained LRU under -budget-mb. The
+// returned "graph" id is the content fingerprint to pass to /query.
+// SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Usage:
+//
+//	apspd -addr :8080 -algorithm auto -kernel tiled -budget-mb 512
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sparseapsp"
+	"sparseapsp/internal/semiring"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		alg      = flag.String("algorithm", "auto", "APSP solver: auto, sparse2d, dc, 2dfw, 1dfw, fw, blockedfw, superfw, superfw-par, johnson")
+		p        = flag.Int("p", 0, "simulated machine size for the distributed solvers (0 = sequential auto)")
+		kernel   = flag.String("kernel", "serial", "min-plus kernel: serial, tiled, pooled")
+		seed     = flag.Int64("seed", 42, "nested-dissection seed")
+		budgetMB = flag.Int64("budget-mb", 0, "oracle cache memory budget in MiB (0 = unlimited)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	kern, err := semiring.ParseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apspd:", err)
+		os.Exit(1)
+	}
+	opts := sparseapsp.Options{
+		Algorithm: sparseapsp.Algorithm(*alg),
+		P:         *p,
+		Seed:      *seed,
+		Kernel:    kern,
+	}
+	reg := sparseapsp.NewOracleRegistry(opts, *budgetMB<<20)
+	srv := &http.Server{Addr: *addr, Handler: newServer(reg)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("apspd: serving on %s (algorithm=%s kernel=%s budget=%d MiB)",
+			*addr, *alg, *kernel, *budgetMB)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("apspd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("apspd: shutting down, draining in-flight requests (up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("apspd: drain incomplete: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("apspd: %v", err)
+	}
+	log.Printf("apspd: bye")
+}

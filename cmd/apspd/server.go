@@ -1,0 +1,310 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/oracle"
+)
+
+// maxBodyBytes bounds request bodies (graphs arrive inline).
+const maxBodyBytes = 64 << 20
+
+// endpointStats counts one endpoint's traffic.
+type endpointStats struct {
+	Requests   atomic.Int64
+	Errors     atomic.Int64
+	InFlight   atomic.Int64
+	TotalNanos atomic.Int64
+	MaxNanos   atomic.Int64
+}
+
+type endpointSnapshot struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	InFlight int64   `json:"in_flight"`
+	TotalMs  float64 `json:"total_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+func (e *endpointStats) snapshot() endpointSnapshot {
+	return endpointSnapshot{
+		Requests: e.Requests.Load(),
+		Errors:   e.Errors.Load(),
+		InFlight: e.InFlight.Load(),
+		TotalMs:  float64(e.TotalNanos.Load()) / 1e6,
+		MaxMs:    float64(e.MaxNanos.Load()) / 1e6,
+	}
+}
+
+// server is the apspd HTTP front-end over an oracle registry.
+type server struct {
+	reg       *oracle.Registry
+	mux       *http.ServeMux
+	started   time.Time
+	endpoints map[string]*endpointStats
+}
+
+// newServer wires the handlers. The registry owns solving and caching;
+// the server only parses requests and keeps per-endpoint counters.
+func newServer(reg *oracle.Registry) *server {
+	s := &server{
+		reg:       reg,
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
+		endpoints: make(map[string]*endpointStats),
+	}
+	s.handle("load", "POST /load", s.handleLoad)
+	s.handle("generate", "POST /generate", s.handleGenerate)
+	s.handle("query", "POST /query", s.handleQuery)
+	s.handle("statsz", "GET /statsz", s.handleStatsz)
+	s.handle("healthz", "GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError carries an HTTP status through the handler return path.
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...interface{}) error {
+	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// handle registers a counted handler: requests, errors, in-flight and
+// latency are tracked per endpoint and reported by /statsz.
+func (s *server) handle(name, pattern string, h func(w http.ResponseWriter, r *http.Request) error) {
+	st := &endpointStats{}
+	s.endpoints[name] = st
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		st.Requests.Add(1)
+		st.InFlight.Add(1)
+		start := time.Now()
+		err := h(w, r)
+		nanos := time.Since(start).Nanoseconds()
+		st.TotalNanos.Add(nanos)
+		for {
+			max := st.MaxNanos.Load()
+			if nanos <= max || st.MaxNanos.CompareAndSwap(max, nanos) {
+				break
+			}
+		}
+		st.InFlight.Add(-1)
+		if err != nil {
+			st.Errors.Add(1)
+			status := http.StatusInternalServerError
+			var ae *apiError
+			if errors.As(err, &ae) {
+				status = ae.status
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// graphInfo is the response of /load and /generate: the id to query by
+// plus basic shape info.
+type graphInfo struct {
+	Graph string `json:"graph"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+}
+
+// register solves g through the registry (coalesced with any
+// concurrent load of the same graph) and returns its id.
+func (s *server) register(w http.ResponseWriter, g *graph.Graph) error {
+	if _, err := s.reg.Get(g); err != nil {
+		return badRequest("solve failed: %v", err)
+	}
+	return writeJSON(w, graphInfo{Graph: oracle.FingerprintOf(g).String(), N: g.N(), M: g.M()})
+}
+
+// loadRequest is the JSON form of /load; the endpoint also accepts the
+// plain-text edge-list format of internal/graph (n header + "u v w"
+// lines) when the body does not start with '{'.
+type loadRequest struct {
+	N     int          `json:"n"`
+	Edges [][3]float64 `json:"edges"` // [u, v, w] triples
+}
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return badRequest("reading body: %v", err)
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if trimmed == "" {
+		return badRequest("empty body: want JSON {n, edges} or edge-list text")
+	}
+	var g *graph.Graph
+	if strings.HasPrefix(trimmed, "{") {
+		var req loadRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return badRequest("bad JSON: %v", err)
+		}
+		if req.N < 0 {
+			return badRequest("negative vertex count %d", req.N)
+		}
+		g = graph.New(req.N)
+		for i, e := range req.Edges {
+			u, v := int(e[0]), int(e[1])
+			if float64(u) != e[0] || float64(v) != e[1] || u < 0 || u >= req.N || v < 0 || v >= req.N {
+				return badRequest("edge %d: endpoints (%g,%g) outside [0,%d)", i, e[0], e[1], req.N)
+			}
+			g.AddEdge(u, v, e[2])
+		}
+	} else {
+		g, err = graph.Read(strings.NewReader(trimmed))
+		if err != nil {
+			return badRequest("bad edge list: %v", err)
+		}
+	}
+	return s.register(w, g)
+}
+
+// generateRequest builds one of the named workload families of
+// internal/graph (grid, grid3d, path, cycle, tree, gnp, rmat, rgg, ...).
+type generateRequest struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+	Seed int64  `json:"seed"`
+}
+
+func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) error {
+	var req generateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		return badRequest("bad JSON: %v", err)
+	}
+	if req.N <= 0 {
+		return badRequest("generate needs n > 0, got %d", req.N)
+	}
+	g, err := graph.NamedGenerator(req.Kind, req.N, req.Seed)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	return s.register(w, g)
+}
+
+// queryRequest asks for distances (and optionally full paths) for a
+// batch of (source, target) pairs on a loaded graph.
+type queryRequest struct {
+	Graph string   `json:"graph"`
+	Pairs [][2]int `json:"pairs"`
+	Paths bool     `json:"paths"`
+}
+
+type queryResponse struct {
+	Dists []float64 `json:"dists"` // -1 encodes unreachable (JSON has no Inf)
+	Paths [][]int   `json:"paths,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req queryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		return badRequest("bad JSON: %v", err)
+	}
+	if len(req.Pairs) == 0 {
+		return badRequest("query needs at least one [u, v] pair")
+	}
+	fp, err := oracle.ParseFingerprint(req.Graph)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	o, err, ok := s.reg.Lookup(fp)
+	if !ok {
+		return &apiError{status: http.StatusNotFound,
+			err: fmt.Errorf("unknown graph %s: load or generate it first", req.Graph)}
+	}
+	if err != nil {
+		return badRequest("solve failed: %v", err)
+	}
+	dists, err := o.BatchDist(req.Pairs)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	resp := queryResponse{Dists: make([]float64, len(dists))}
+	for i, d := range dists {
+		if math.IsInf(d, 1) {
+			resp.Dists[i] = -1
+		} else {
+			resp.Dists[i] = d
+		}
+	}
+	if req.Paths {
+		if resp.Paths, err = o.BatchPath(req.Pairs); err != nil {
+			return badRequest("%v", err)
+		}
+	}
+	return writeJSON(w, resp)
+}
+
+// statszResponse is the /statsz report: registry counters plus the
+// per-endpoint traffic counters.
+type statszResponse struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Registry      registrySnapshot            `json:"registry"`
+	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
+}
+
+type registrySnapshot struct {
+	Solves          int64   `json:"solves"`
+	Hits            int64   `json:"hits"`
+	Misses          int64   `json:"misses"`
+	Evictions       int64   `json:"evictions"`
+	Entries         int     `json:"entries"`
+	Bytes           int64   `json:"bytes"`
+	BudgetBytes     int64   `json:"budget_bytes"`
+	SolveMs         float64 `json:"solve_ms"`
+	QueriesServed   int64   `json:"queries_served"`
+	QueriesInFlight int64   `json:"queries_in_flight"`
+	QueryMs         float64 `json:"query_ms"`
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
+	st := s.reg.Stats()
+	resp := statszResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Registry: registrySnapshot{
+			Solves:          st.Solves,
+			Hits:            st.Hits,
+			Misses:          st.Misses,
+			Evictions:       st.Evictions,
+			Entries:         st.Entries,
+			Bytes:           st.Bytes,
+			BudgetBytes:     st.BudgetBytes,
+			SolveMs:         float64(st.SolveNanos) / 1e6,
+			QueriesServed:   st.QueriesServed,
+			QueriesInFlight: st.QueriesInFlight,
+			QueryMs:         float64(st.QueryNanos) / 1e6,
+		},
+		Endpoints: make(map[string]endpointSnapshot, len(s.endpoints)),
+	}
+	for name, ep := range s.endpoints {
+		resp.Endpoints[name] = ep.snapshot()
+	}
+	return writeJSON(w, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sparseapsp"
+	"sparseapsp/internal/apsp"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/oracle"
+)
+
+func newTestServer(t *testing.T, budget int64) (*httptest.Server, *server) {
+	t.Helper()
+	reg := sparseapsp.NewOracleRegistry(sparseapsp.Options{Algorithm: sparseapsp.SeqFW}, budget)
+	s := newServer(reg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %q: %v", data, err)
+		}
+	}
+	return resp
+}
+
+func getStats(t *testing.T, base string) statszResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServerEndToEnd: generate a grid, query distances and paths, and
+// check every answer against FloydWarshallPaths ground truth.
+func TestServerEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+
+	var info graphInfo
+	resp := postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 49, Seed: 7}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/generate status %d", resp.StatusCode)
+	}
+	if info.N != 49 {
+		t.Fatalf("generated n = %d, want 49", info.N)
+	}
+
+	// Ground truth from the same deterministic generator.
+	g, err := graph.NamedGenerator("grid", 49, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.FingerprintOf(g).String(); got != info.Graph {
+		t.Fatalf("server fingerprint %s, local %s", info.Graph, got)
+	}
+	want := apsp.FloydWarshallPaths(g)
+
+	pairs := [][2]int{{0, 48}, {6, 42}, {0, 0}, {13, 27}}
+	var qr queryResponse
+	resp = postJSON(t, ts.URL+"/query", queryRequest{Graph: info.Graph, Pairs: pairs, Paths: true}, &qr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query status %d", resp.StatusCode)
+	}
+	for i, p := range pairs {
+		ref := want.Dist.At(p[0], p[1])
+		if math.Abs(qr.Dists[i]-ref) > 1e-9 {
+			t.Errorf("dist %v = %g, want %g", p, qr.Dists[i], ref)
+		}
+		path := qr.Paths[i]
+		if len(path) == 0 || path[0] != p[0] || path[len(path)-1] != p[1] {
+			t.Errorf("path %v = %v: bad endpoints", p, path)
+		}
+		if w := apsp.PathWeight(g, path); math.Abs(w-ref) > 1e-9 {
+			t.Errorf("path %v weight %g, want %g", p, w, ref)
+		}
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Registry.Solves != 1 {
+		t.Errorf("solves = %d, want 1", st.Registry.Solves)
+	}
+	if st.Registry.QueriesServed != int64(len(pairs))*2 { // BatchDist + BatchPath
+		t.Errorf("queries served = %d, want %d", st.Registry.QueriesServed, len(pairs)*2)
+	}
+	if st.Endpoints["query"].Requests != 1 || st.Endpoints["generate"].Requests != 1 {
+		t.Errorf("endpoint counters = %+v", st.Endpoints)
+	}
+}
+
+// TestServerCoalescesConcurrentLoads: N concurrent loads of the same
+// unsolved graph must trigger exactly one solve.
+func TestServerCoalescesConcurrentLoads(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	g := graph.Grid2D(6, 6, graph.UnitWeights)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/load", "text/plain", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				data, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("/load status %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := getStats(t, ts.URL)
+	if st.Registry.Solves != 1 {
+		t.Errorf("solves = %d after %d concurrent loads of one graph, want 1", st.Registry.Solves, n)
+	}
+	if st.Endpoints["load"].Requests != n {
+		t.Errorf("load requests = %d, want %d", st.Endpoints["load"].Requests, n)
+	}
+}
+
+func TestServerLoadJSONAndUnreachable(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	var info graphInfo
+	resp := postJSON(t, ts.URL+"/load",
+		loadRequest{N: 4, Edges: [][3]float64{{0, 1, 2.5}, {1, 2, 1}}}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/load status %d", resp.StatusCode)
+	}
+	if info.N != 4 || info.M != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	var qr queryResponse
+	postJSON(t, ts.URL+"/query",
+		queryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 2}, {0, 3}}, Paths: true}, &qr)
+	if qr.Dists[0] != 3.5 {
+		t.Errorf("dist(0,2) = %g, want 3.5", qr.Dists[0])
+	}
+	if qr.Dists[1] != -1 {
+		t.Errorf("unreachable dist = %g, want -1", qr.Dists[1])
+	}
+	if qr.Paths[1] != nil {
+		t.Errorf("unreachable path = %v, want null", qr.Paths[1])
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	cases := []struct {
+		name   string
+		status int
+		do     func() *http.Response
+	}{
+		{"query unknown graph", http.StatusNotFound, func() *http.Response {
+			return postJSON(t, ts.URL+"/query",
+				queryRequest{Graph: strings.Repeat("ab", 32), Pairs: [][2]int{{0, 1}}}, nil)
+		}},
+		{"query bad fingerprint", http.StatusBadRequest, func() *http.Response {
+			return postJSON(t, ts.URL+"/query", queryRequest{Graph: "zz", Pairs: [][2]int{{0, 1}}}, nil)
+		}},
+		{"query no pairs", http.StatusBadRequest, func() *http.Response {
+			return postJSON(t, ts.URL+"/query", queryRequest{Graph: strings.Repeat("ab", 32)}, nil)
+		}},
+		{"generate bad kind", http.StatusBadRequest, func() *http.Response {
+			return postJSON(t, ts.URL+"/generate", generateRequest{Kind: "nope", N: 9}, nil)
+		}},
+		{"generate zero n", http.StatusBadRequest, func() *http.Response {
+			return postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid"}, nil)
+		}},
+		{"load garbage", http.StatusBadRequest, func() *http.Response {
+			resp, err := http.Post(ts.URL+"/load", "text/plain", strings.NewReader("what is this"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp
+		}},
+		{"load bad edge", http.StatusBadRequest, func() *http.Response {
+			return postJSON(t, ts.URL+"/load", loadRequest{N: 2, Edges: [][3]float64{{0, 5, 1}}}, nil)
+		}},
+	}
+	for _, c := range cases {
+		if resp := c.do(); resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.Endpoints["query"].Errors != 3 {
+		t.Errorf("query errors = %d, want 3", st.Endpoints["query"].Errors)
+	}
+}
+
+// TestServerQueryOutOfRangePair exercises the batch validator through
+// the HTTP layer.
+func TestServerQueryOutOfRangePair(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	var info graphInfo
+	postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 16, Seed: 1}, &info)
+	resp := postJSON(t, ts.URL+"/query",
+		queryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 999}}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range pair: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerEviction: a tiny budget forces the registry to drop the
+// least recently used graph, visible through /statsz.
+func TestServerEviction(t *testing.T) {
+	// One 16-vertex FW result is 16*16*(8+4) = 3072 bytes; fit two.
+	ts, _ := newTestServer(t, 2*3072)
+	var a, b, c graphInfo
+	postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 16, Seed: 1}, &a)
+	postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 16, Seed: 2}, &b)
+	postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 16, Seed: 3}, &c)
+	st := getStats(t, ts.URL)
+	if st.Registry.Evictions != 1 || st.Registry.Entries != 2 {
+		t.Errorf("evictions=%d entries=%d, want 1 and 2", st.Registry.Evictions, st.Registry.Entries)
+	}
+	if st.Registry.Bytes > 2*3072 {
+		t.Errorf("retained %d bytes over budget", st.Registry.Bytes)
+	}
+	// The oldest graph must 404 now; the newer ones still answer.
+	if resp := postJSON(t, ts.URL+"/query", queryRequest{Graph: a.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted graph: status %d, want 404", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/query", queryRequest{Graph: c.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("fresh graph: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", resp.StatusCode)
+	}
+}

@@ -51,6 +51,95 @@ func FloydWarshallPaths(g *graph.Graph) *PathResult {
 	return &PathResult{Dist: d, n: n, next: next}
 }
 
+// SuccessorsFromDist reconstructs the successor structure from a
+// finished distance matrix, so shortest paths can be served from the
+// output of *any* solver (blocked, supernodal, or the distributed
+// 2D-SPARSE-APSP), not just the classical FloydWarshallPaths loop.
+//
+// For each target v it walks the "tight" edges — edges {u, w} with
+// d(u,v) = w(u,w) + d(w,v) — backwards from v in breadth-first order,
+// so the resulting successor pointers form a tree rooted at v: path
+// extraction always terminates, even through zero-weight edges that
+// make the tight-edge graph cyclic. Equality is checked with a small
+// relative tolerance because different solvers may sum the same path
+// in different orders. Cost is O(n·m) time and O(n²) space.
+//
+// The graph must have non-negative weights (in an undirected graph a
+// negative edge is a negative cycle, under which shortest paths are
+// undefined), and d must be a correct distance matrix for g; an
+// inconsistency (a reachable pair whose distance no edge sequence
+// explains) is reported as an error rather than producing a broken
+// oracle.
+func SuccessorsFromDist(g *graph.Graph, d *semiring.Matrix) (*PathResult, error) {
+	if g == nil {
+		return nil, fmt.Errorf("apsp: SuccessorsFromDist: nil graph")
+	}
+	n := g.N()
+	if d == nil || d.Rows != n || d.Cols != n {
+		return nil, fmt.Errorf("apsp: SuccessorsFromDist: distance matrix is not %d×%d", n, n)
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.Adj(u) {
+			if e.W < 0 {
+				return nil, fmt.Errorf("apsp: negative edge {%d,%d} weight %g is a negative cycle in an undirected graph", u, e.To, e.W)
+			}
+		}
+	}
+	next := make([]int32, n*n)
+	for i := range next {
+		next[i] = -1
+	}
+	tight := func(sum, dist float64) bool {
+		if sum == dist {
+			return true
+		}
+		if math.IsInf(sum, 1) || math.IsInf(dist, 1) {
+			return false
+		}
+		tol := 1e-9
+		if a := math.Abs(dist); a > 1 {
+			tol *= a
+		}
+		return math.Abs(sum-dist) <= tol
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		next[v*n+v] = int32(v)
+		queue = append(queue[:0], v)
+		for head := 0; head < len(queue); head++ {
+			w := queue[head]
+			dwv := d.At(w, v)
+			for _, e := range g.Adj(w) {
+				u := e.To
+				if u == v || next[u*n+v] != -1 {
+					continue
+				}
+				if tight(e.W+dwv, d.At(u, v)) {
+					next[u*n+v] = int32(w)
+					queue = append(queue, u)
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			if next[u*n+v] == -1 && !math.IsInf(d.At(u, v), 1) {
+				return nil, fmt.Errorf("apsp: SuccessorsFromDist: d(%d,%d)=%g is not explained by any edge of the graph (inconsistent distances)", u, v, d.At(u, v))
+			}
+		}
+	}
+	return &PathResult{Dist: d, n: n, next: next}, nil
+}
+
+// N returns the number of vertices the result covers; valid query
+// endpoints are [0, N).
+func (p *PathResult) N() int { return p.n }
+
+// MemoryBytes estimates the retained size of the result: the distance
+// matrix plus the successor table. Registries use it for cache
+// accounting.
+func (p *PathResult) MemoryBytes() int64 {
+	return int64(len(p.Dist.V))*8 + int64(len(p.next))*4
+}
+
 // Path returns the vertices of a shortest u→v path, inclusive of both
 // endpoints, or nil if v is unreachable from u. For u == v it returns
 // [u].

@@ -108,6 +108,104 @@ func TestPathEdgeCases(t *testing.T) {
 	}()
 }
 
+// Property: successor structures extracted from a finished distance
+// matrix (any solver) reconstruct real shortest paths, matching the
+// in-loop successors of FloydWarshallPaths.
+func TestQuickSuccessorsFromDist(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := graph.RandomGNP(n, 3.0/float64(n), graph.RandomWeights(rng, 1, 10), rng)
+		d, _ := FloydWarshall(g)
+		pr, err := SuccessorsFromDist(g, d)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				dist := d.At(u, v)
+				path := pr.Path(u, v)
+				if math.IsInf(dist, 1) {
+					if path != nil {
+						return false
+					}
+					continue
+				}
+				if path[0] != u || path[len(path)-1] != v {
+					return false
+				}
+				if math.Abs(PathWeight(g, path)-dist) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Zero-weight edges make the tight-edge graph cyclic; the BFS-tree
+// extraction must still terminate and return genuine shortest paths.
+func TestSuccessorsFromDistZeroWeightCycle(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 0, 0)
+	g.AddEdge(2, 3, 5)
+	d, _ := FloydWarshall(g)
+	pr, err := SuccessorsFromDist(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			path := pr.Path(u, v)
+			if w := PathWeight(g, path); w != d.At(u, v) {
+				t.Errorf("Path(%d,%d) = %v weight %g, want %g", u, v, path, w, d.At(u, v))
+			}
+		}
+	}
+}
+
+func TestSuccessorsFromDistRejectsBadInput(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := SuccessorsFromDist(nil, nil); err == nil {
+		t.Error("nil graph: want error")
+	}
+	d, _ := FloydWarshall(g)
+	if _, err := SuccessorsFromDist(graph.New(4), d); err == nil {
+		t.Error("dimension mismatch: want error")
+	}
+	// Distances no edge sequence can explain.
+	bad := d.Clone()
+	bad.Set(0, 1, 0.5)
+	if _, err := SuccessorsFromDist(g, bad); err == nil {
+		t.Error("inconsistent distances: want error")
+	}
+	neg := graph.New(2)
+	neg.AddEdge(0, 1, -1)
+	dn, _ := FloydWarshall(neg)
+	if _, err := SuccessorsFromDist(neg, dn); err == nil {
+		t.Error("negative edge: want error")
+	}
+}
+
+func TestPathResultMemoryBytes(t *testing.T) {
+	g := graph.Grid2D(4, 4, graph.UnitWeights)
+	pr := FloydWarshallPaths(g)
+	n := int64(g.N())
+	if got, want := pr.MemoryBytes(), n*n*8+n*n*4; got != want {
+		t.Errorf("MemoryBytes = %d, want %d", got, want)
+	}
+	if pr.N() != g.N() {
+		t.Errorf("N = %d, want %d", pr.N(), g.N())
+	}
+}
+
 // Property: every reconstructed path is a real path in the graph whose
 // weight equals the distance matrix entry.
 func TestQuickPathsAreShortest(t *testing.T) {

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -82,6 +83,41 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	t.Fprint(&sb)
 	return sb.String()
+}
+
+// jsonTable is the machine-readable form of a Table: rows become
+// column-keyed objects so downstream tooling (the BENCH_*.json perf
+// trajectory, plotting scripts) can index cells by name.
+type jsonTable struct {
+	ID    string              `json:"id"`
+	Title string              `json:"title"`
+	Cols  []string            `json:"columns"`
+	Rows  []map[string]string `json:"rows"`
+	Notes []string            `json:"notes,omitempty"`
+}
+
+// WriteJSON renders tables as a JSON array, each row an object keyed
+// by column name. Extra cells beyond the declared columns are dropped;
+// missing cells are omitted from the row object.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	out := make([]jsonTable, 0, len(tables))
+	for _, t := range tables {
+		jt := jsonTable{ID: t.ID, Title: t.Title, Cols: t.Columns, Notes: t.Notes,
+			Rows: make([]map[string]string, 0, len(t.Rows))}
+		for _, row := range t.Rows {
+			obj := make(map[string]string, len(t.Columns))
+			for i, c := range t.Columns {
+				if i < len(row) {
+					obj[c] = row[i]
+				}
+			}
+			jt.Rows = append(jt.Rows, obj)
+		}
+		out = append(out, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // WriteCSV renders the table as CSV (header + rows, no notes) for

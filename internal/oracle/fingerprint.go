@@ -1,0 +1,57 @@
+// Package oracle is the serving layer of the repository: it turns the
+// one-shot APSP solvers into long-lived distance oracles that answer
+// point, path and batch queries, and a registry that caches solved
+// oracles by graph fingerprint with singleflight solve coalescing and
+// LRU eviction under a memory budget. cmd/apspd exposes it over HTTP;
+// the root package re-exports it as NewOracle / NewOracleRegistry.
+package oracle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"sparseapsp/internal/graph"
+)
+
+// Fingerprint identifies a graph by content: vertex count plus the
+// sorted edge list with exact weight bits. Two graphs share a
+// fingerprint iff they have identical vertex sets and edge weights, so
+// it is a safe cache key for solved distance matrices.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex — the wire format
+// cmd/apspd hands to clients as the graph id.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// ParseFingerprint decodes the hex form produced by String.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(f) {
+		return f, fmt.Errorf("oracle: %q is not a graph fingerprint (%d hex chars)", s, 2*len(f))
+	}
+	copy(f[:], b)
+	return f, nil
+}
+
+// FingerprintOf computes the content fingerprint of g in O(m log m).
+func FingerprintOf(g *graph.Graph) Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(g.N()))
+	for _, e := range g.Edges() {
+		put(uint64(e.U))
+		put(uint64(e.V))
+		put(math.Float64bits(e.W))
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sparseapsp/internal/apsp"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// SolveFunc runs a full APSP solve with path reconstruction. The root
+// package supplies one that routes through the public Solve options
+// (kernel, algorithm, machine size); tests inject instrumented ones.
+type SolveFunc func(g *graph.Graph) (*apsp.PathResult, error)
+
+// queryCounters tracks query traffic; the zero value is ready to use.
+type queryCounters struct {
+	inFlight   atomic.Int64
+	served     atomic.Int64
+	queryNanos atomic.Int64
+}
+
+// Oracle holds one solved graph and answers distance and path queries
+// from the retained matrix and successor structure. All query methods
+// are safe for concurrent use; batches fan out over a semiring.Pool.
+type Oracle struct {
+	res  *apsp.PathResult
+	pool *semiring.Pool
+
+	counters queryCounters
+	// shared, when set, receives every update counters gets. A registry
+	// installs its own block here before publishing the oracle, so its
+	// cumulative totals survive the oracle's eviction and keep counting
+	// queries that were in flight when it was evicted.
+	shared *queryCounters
+}
+
+// New solves g once with solve and wraps the result in an Oracle.
+// A nil pool means the package-wide semiring.DefaultPool.
+func New(g *graph.Graph, solve SolveFunc, pool *semiring.Pool) (*Oracle, error) {
+	if g == nil {
+		return nil, fmt.Errorf("oracle: nil graph")
+	}
+	if solve == nil {
+		return nil, fmt.Errorf("oracle: nil solve function")
+	}
+	res, err := solve(g)
+	if err != nil {
+		return nil, err
+	}
+	return FromResult(res, pool), nil
+}
+
+// FromResult wraps an already-solved PathResult in an Oracle without
+// re-solving. A nil pool means semiring.DefaultPool.
+func FromResult(res *apsp.PathResult, pool *semiring.Pool) *Oracle {
+	if pool == nil {
+		pool = semiring.DefaultPool
+	}
+	return &Oracle{res: res, pool: pool}
+}
+
+// N returns the number of vertices; valid query endpoints are [0, N).
+func (o *Oracle) N() int { return o.res.N() }
+
+// MemoryBytes estimates the retained size of the solved result.
+func (o *Oracle) MemoryBytes() int64 { return o.res.MemoryBytes() }
+
+// track opens a query window for the stats counters and returns the
+// closer that records it as served. queries is the number of
+// point-queries the call answers (batch calls count every pair).
+func (o *Oracle) track(queries int) func() {
+	o.counters.inFlight.Add(1)
+	if o.shared != nil {
+		o.shared.inFlight.Add(1)
+	}
+	start := time.Now()
+	return func() {
+		nanos := time.Since(start).Nanoseconds()
+		o.counters.queryNanos.Add(nanos)
+		o.counters.served.Add(int64(queries))
+		o.counters.inFlight.Add(-1)
+		if o.shared != nil {
+			o.shared.queryNanos.Add(nanos)
+			o.shared.served.Add(int64(queries))
+			o.shared.inFlight.Add(-1)
+		}
+	}
+}
+
+func (o *Oracle) check(u, v int) error {
+	if n := o.res.N(); u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("oracle: query (%d,%d) outside [0,%d)", u, v, n)
+	}
+	return nil
+}
+
+// Dist returns the shortest-path weight from u to v (Inf when
+// unreachable).
+func (o *Oracle) Dist(u, v int) (float64, error) {
+	if err := o.check(u, v); err != nil {
+		return semiring.Inf, err
+	}
+	defer o.track(1)()
+	return o.res.Dist.At(u, v), nil
+}
+
+// Path returns the vertices of a shortest u→v path inclusive of both
+// endpoints, nil when v is unreachable from u.
+func (o *Oracle) Path(u, v int) ([]int, error) {
+	if err := o.check(u, v); err != nil {
+		return nil, err
+	}
+	defer o.track(1)()
+	return o.res.Path(u, v), nil
+}
+
+// BatchDist answers many distance queries at once, fanned out over the
+// worker pool. The result is index-aligned with pairs. Every pair is
+// validated before any work starts.
+func (o *Oracle) BatchDist(pairs [][2]int) ([]float64, error) {
+	if err := o.checkBatch(pairs); err != nil {
+		return nil, err
+	}
+	defer o.track(len(pairs))()
+	out := make([]float64, len(pairs))
+	o.pool.ForEach(len(pairs), func(i int) {
+		out[i] = o.res.Dist.At(pairs[i][0], pairs[i][1])
+	})
+	return out, nil
+}
+
+// BatchPath answers many path queries at once, fanned out over the
+// worker pool. Unreachable pairs get a nil path.
+func (o *Oracle) BatchPath(pairs [][2]int) ([][]int, error) {
+	if err := o.checkBatch(pairs); err != nil {
+		return nil, err
+	}
+	defer o.track(len(pairs))()
+	out := make([][]int, len(pairs))
+	o.pool.ForEach(len(pairs), func(i int) {
+		out[i] = o.res.Path(pairs[i][0], pairs[i][1])
+	})
+	return out, nil
+}
+
+func (o *Oracle) checkBatch(pairs [][2]int) error {
+	for i, p := range pairs {
+		if err := o.check(p[0], p[1]); err != nil {
+			return fmt.Errorf("pair %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// QueryStats is a snapshot of one oracle's query counters.
+type QueryStats struct {
+	Served     int64 // point-queries answered (batch pairs count individually)
+	InFlight   int64 // query calls currently executing
+	QueryNanos int64 // total wall-clock spent inside query calls
+}
+
+// QueryStats returns the oracle's counters at this instant.
+func (o *Oracle) QueryStats() QueryStats {
+	return QueryStats{
+		Served:     o.counters.served.Load(),
+		InFlight:   o.counters.inFlight.Load(),
+		QueryNanos: o.counters.queryNanos.Load(),
+	}
+}

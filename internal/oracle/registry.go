@@ -1,0 +1,216 @@
+package oracle
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// Config configures a Registry.
+type Config struct {
+	// Solve runs the underlying APSP solver; required.
+	Solve SolveFunc
+	// MemoryBudget bounds the total MemoryBytes of retained oracles;
+	// <= 0 means unlimited. The most recently used oracle is never
+	// evicted, so one oracle larger than the budget is still served
+	// (and displaced as soon as another graph is solved).
+	MemoryBudget int64
+	// Pool is the worker pool batch queries fan out over; nil means
+	// semiring.DefaultPool.
+	Pool *semiring.Pool
+}
+
+// Registry caches solved oracles keyed by graph fingerprint. Concurrent
+// Get calls for the same unsolved graph are coalesced singleflight-style
+// into exactly one solve; everything else waits on its completion.
+// Solved oracles are retained in LRU order under Config.MemoryBudget.
+type Registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[Fingerprint]*entry
+	lru     *list.List // front = most recently used; solved entries only
+	bytes   int64      // sum of MemoryBytes over solved entries
+
+	solves     int64
+	hits       int64
+	misses     int64
+	evictions  int64
+	solveNanos int64
+	// queries is shared with every oracle this registry creates, so the
+	// totals stay cumulative across evictions and keep counting queries
+	// that were in flight when their oracle was evicted.
+	queries queryCounters
+}
+
+type entry struct {
+	fp     Fingerprint
+	ready  chan struct{} // closed when the solve finishes
+	oracle *Oracle       // set iff err == nil after ready
+	err    error
+	elem   *list.Element // nil while solving or after eviction
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{
+		cfg:     cfg,
+		entries: make(map[Fingerprint]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the oracle for g, solving it first if no oracle with g's
+// fingerprint is cached. If another goroutine is already solving the
+// same graph, Get waits for that solve instead of starting a second
+// one. A failed solve is not cached: the next Get retries.
+func (r *Registry) Get(g *graph.Graph) (*Oracle, error) {
+	if g == nil {
+		return nil, fmt.Errorf("oracle: nil graph")
+	}
+	if r.cfg.Solve == nil {
+		return nil, fmt.Errorf("oracle: registry has no solve function")
+	}
+	fp := FingerprintOf(g)
+
+	r.mu.Lock()
+	if e, ok := r.entries[fp]; ok {
+		r.hits++
+		r.touchLocked(e)
+		r.mu.Unlock()
+		<-e.ready
+		return e.oracle, e.err
+	}
+	r.misses++
+	e := &entry{fp: fp, ready: make(chan struct{})}
+	r.entries[fp] = e
+	r.mu.Unlock()
+
+	start := time.Now()
+	o, err := New(g, r.cfg.Solve, r.cfg.Pool)
+	elapsed := time.Since(start).Nanoseconds()
+
+	r.mu.Lock()
+	r.solves++
+	r.solveNanos += elapsed
+	if err != nil {
+		e.err = err
+		delete(r.entries, fp) // allow a retry; current waiters get err
+	} else {
+		o.shared = &r.queries // install before any Get returns the oracle
+		e.oracle = o
+		e.elem = r.lru.PushFront(e)
+		r.bytes += o.MemoryBytes()
+		r.evictLocked()
+	}
+	r.mu.Unlock()
+	close(e.ready)
+	return o, err
+}
+
+// Lookup returns the cached oracle for an already-registered
+// fingerprint, waiting out an in-flight solve. ok is false when the
+// fingerprint has never been loaded (or was evicted).
+func (r *Registry) Lookup(fp Fingerprint) (o *Oracle, err error, ok bool) {
+	r.mu.Lock()
+	e, found := r.entries[fp]
+	if !found {
+		r.misses++
+		r.mu.Unlock()
+		return nil, nil, false
+	}
+	r.hits++
+	r.touchLocked(e)
+	r.mu.Unlock()
+	<-e.ready
+	return e.oracle, e.err, true
+}
+
+// touchLocked moves a solved entry to the LRU front; in-flight entries
+// have no list element yet and are touched on insertion instead.
+func (r *Registry) touchLocked(e *entry) {
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+	}
+}
+
+// evictLocked drops least-recently-used solved oracles until the
+// retained bytes fit the budget. The front entry (the one just solved
+// or touched) is always kept so Get never evicts its own result.
+func (r *Registry) evictLocked() {
+	if r.cfg.MemoryBudget <= 0 {
+		return
+	}
+	for r.bytes > r.cfg.MemoryBudget && r.lru.Len() > 1 {
+		back := r.lru.Back()
+		e := back.Value.(*entry)
+		r.lru.Remove(back)
+		e.elem = nil
+		delete(r.entries, e.fp)
+		r.bytes -= e.oracle.MemoryBytes()
+		r.evictions++
+	}
+}
+
+// Len returns the number of cached (solved or solving) entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Fingerprints lists the cached fingerprints in LRU order, most
+// recently used first (solved entries only).
+func (r *Registry) Fingerprints() []Fingerprint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Fingerprint, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).fp)
+	}
+	return out
+}
+
+// Stats is a snapshot of the registry's counters. Query counters are
+// cumulative across evictions: every oracle the registry ever created
+// feeds the same totals, including queries still in flight on an
+// already-evicted oracle.
+type Stats struct {
+	Solves    int64 // solves actually run (coalesced requests share one)
+	Hits      int64 // Get/Lookup calls satisfied by an existing entry
+	Misses    int64 // Get calls that triggered a solve + unknown Lookups
+	Evictions int64 // oracles dropped by the LRU budget
+
+	Entries     int   // cached entries, including in-flight solves
+	Bytes       int64 // retained bytes of solved oracles
+	BudgetBytes int64 // configured budget (0 = unlimited)
+
+	SolveNanos      int64 // total wall-clock spent solving
+	QueriesServed   int64 // point-queries answered across all oracles
+	QueriesInFlight int64 // query calls executing right now
+	QueryNanos      int64 // total wall-clock spent inside query calls
+}
+
+// Stats returns the registry counters at this instant.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Solves:      r.solves,
+		Hits:        r.hits,
+		Misses:      r.misses,
+		Evictions:   r.evictions,
+		Entries:     len(r.entries),
+		Bytes:       r.bytes,
+		BudgetBytes: r.cfg.MemoryBudget,
+		SolveNanos:  r.solveNanos,
+	}
+	s.QueriesServed = r.queries.served.Load()
+	s.QueriesInFlight = r.queries.inFlight.Load()
+	s.QueryNanos = r.queries.queryNanos.Load()
+	return s
+}

@@ -1,0 +1,253 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparseapsp/internal/apsp"
+	"sparseapsp/internal/graph"
+)
+
+// countingSolver wraps fwSolve with an invocation counter and an
+// optional delay that widens the coalescing window.
+func countingSolver(count *atomic.Int64, delay time.Duration) SolveFunc {
+	return func(g *graph.Graph) (*apsp.PathResult, error) {
+		count.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return apsp.FloydWarshallPaths(g), nil
+	}
+}
+
+// TestRegistryCoalescesConcurrentSolves hammers one registry with many
+// goroutines asking for the same unsolved graphs and asserts exactly
+// one solve ran per fingerprint. Run under -race in CI.
+func TestRegistryCoalescesConcurrentSolves(t *testing.T) {
+	var solves atomic.Int64
+	r := NewRegistry(Config{Solve: countingSolver(&solves, 5*time.Millisecond)})
+
+	const graphs, workers = 3, 32
+	gs := make([]*graph.Graph, graphs)
+	for i := range gs {
+		gs[i] = testGraph(int64(100+i), 30)
+	}
+	want := make([]*apsp.PathResult, graphs)
+	for i, g := range gs {
+		want[i] = apsp.FloydWarshallPaths(g)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, graphs*workers)
+	for w := 0; w < workers; w++ {
+		for i := range gs {
+			wg.Add(1)
+			go func(w, i int) {
+				defer wg.Done()
+				o, err := r.Get(gs[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				rng := rand.New(rand.NewSource(int64(w*graphs + i)))
+				u, v := rng.Intn(gs[i].N()), rng.Intn(gs[i].N())
+				d, err := o.Dist(u, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ref := want[i].Dist.At(u, v); d != ref {
+					errs <- fmt.Errorf("graph %d: Dist(%d,%d) = %g, want %g", i, u, v, d, ref)
+				}
+			}(w, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := solves.Load(); got != graphs {
+		t.Errorf("solver ran %d times for %d distinct graphs, want exactly one each", got, graphs)
+	}
+	st := r.Stats()
+	if st.Solves != graphs || st.Misses != graphs {
+		t.Errorf("stats solves=%d misses=%d, want %d each", st.Solves, st.Misses, graphs)
+	}
+	if st.Hits != graphs*workers-graphs {
+		t.Errorf("stats hits=%d, want %d", st.Hits, graphs*workers-graphs)
+	}
+	if st.QueriesServed != graphs*workers {
+		t.Errorf("stats queries served=%d, want %d", st.QueriesServed, graphs*workers)
+	}
+}
+
+// TestRegistryLRUEviction checks both the budget invariant and the
+// eviction order: the least recently *used* entry goes first.
+func TestRegistryLRUEviction(t *testing.T) {
+	var solves atomic.Int64
+	gs := []*graph.Graph{testGraph(1, 24), testGraph(2, 24), testGraph(3, 24)}
+	one, err := New(gs[0], fwSolve, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits exactly two solved oracles of this size.
+	budget := 2 * one.MemoryBytes()
+	r := NewRegistry(Config{Solve: countingSolver(&solves, 0), MemoryBudget: budget})
+
+	fpA, fpB, fpC := FingerprintOf(gs[0]), FingerprintOf(gs[1]), FingerprintOf(gs[2])
+	if _, err := r.Get(gs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(gs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Touch A so B becomes least recently used.
+	if _, err := r.Get(gs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(gs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := r.Lookup(fpB); ok {
+		t.Error("B should have been evicted (least recently used)")
+	}
+	if _, _, ok := r.Lookup(fpA); !ok {
+		t.Error("A was evicted despite being recently used")
+	}
+	if _, _, ok := r.Lookup(fpC); !ok {
+		t.Error("C (newest) was evicted")
+	}
+	st := r.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > budget {
+		t.Errorf("retained %d bytes over budget %d", st.Bytes, budget)
+	}
+	// Re-solving B counts as a fresh miss + solve.
+	if _, err := r.Get(gs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := solves.Load(); got != 4 {
+		t.Errorf("solves = %d, want 4 (three graphs + one re-solve)", got)
+	}
+}
+
+// TestRegistryBudgetUnderConcurrentChurn drives many goroutines over
+// more graphs than the budget holds and asserts the retained bytes
+// never exceed the budget once settled. Run under -race in CI.
+func TestRegistryBudgetUnderConcurrentChurn(t *testing.T) {
+	var solves atomic.Int64
+	gs := make([]*graph.Graph, 6)
+	for i := range gs {
+		gs[i] = testGraph(int64(200+i), 20)
+	}
+	one, err := New(gs[0], fwSolve, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 3 * one.MemoryBytes()
+	r := NewRegistry(Config{Solve: countingSolver(&solves, time.Millisecond), MemoryBudget: budget})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for iter := 0; iter < 20; iter++ {
+				g := gs[rng.Intn(len(gs))]
+				o, err := r.Get(g)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := o.Dist(0, g.N()-1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Bytes > budget {
+		t.Errorf("retained %d bytes over budget %d", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Error("expected evictions with 6 graphs and a 3-oracle budget")
+	}
+	if st.Solves != solves.Load() {
+		t.Errorf("stats solves=%d, counter=%d", st.Solves, solves.Load())
+	}
+	if st.QueriesServed != 16*20 {
+		t.Errorf("queries served=%d, want %d (evicted counts must be folded in)", st.QueriesServed, 16*20)
+	}
+}
+
+func TestRegistryFailedSolveNotCachedAndRetried(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	r := NewRegistry(Config{Solve: func(g *graph.Graph) (*apsp.PathResult, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return apsp.FloydWarshallPaths(g), nil
+	}})
+	g := testGraph(9, 15)
+	if _, err := r.Get(g); !errors.Is(err, boom) {
+		t.Fatalf("first Get: err = %v, want boom", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("failed solve left %d cached entries", r.Len())
+	}
+	if _, err := r.Get(g); err != nil {
+		t.Fatalf("retry after failed solve: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("solver calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestRegistryLookupUnknown(t *testing.T) {
+	r := NewRegistry(Config{Solve: fwSolve})
+	if _, _, ok := r.Lookup(FingerprintOf(testGraph(1, 8))); ok {
+		t.Error("Lookup of never-loaded graph reported ok")
+	}
+	if _, err := r.Get(nil); err == nil {
+		t.Error("Get(nil) should error")
+	}
+	if _, err := NewRegistry(Config{}).Get(testGraph(1, 8)); err == nil {
+		t.Error("registry without solver should error")
+	}
+}
+
+// TestRegistrySingleOracleOverBudget: one oracle larger than the whole
+// budget is still retained and served (the newest entry is never
+// evicted), then displaced by the next solve.
+func TestRegistrySingleOracleOverBudget(t *testing.T) {
+	var solves atomic.Int64
+	r := NewRegistry(Config{Solve: countingSolver(&solves, 0), MemoryBudget: 1})
+	a, b := testGraph(1, 16), testGraph(2, 16)
+	if _, err := r.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := r.Lookup(FingerprintOf(a)); !ok {
+		t.Fatal("over-budget oracle was evicted immediately")
+	}
+	if _, err := r.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := r.Lookup(FingerprintOf(a)); ok {
+		t.Error("old over-budget oracle survived the next solve")
+	}
+	if st := r.Stats(); st.Evictions != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 eviction and 1 entry", st)
+	}
+}
