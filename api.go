@@ -68,10 +68,13 @@ const (
 	// KernelPooled is the tiled kernel fanned out over a persistent
 	// worker pool.
 	KernelPooled = semiring.KernelPooled
+	// KernelSparse indexes the finite entries of the left operand
+	// CSR-style, falling back to the tiled kernel on dense panels.
+	KernelSparse = semiring.KernelSparse
 )
 
-// ParseKernel maps a kernel name ("serial", "tiled", "pooled"; "" means
-// serial) to its Kernel value.
+// ParseKernel maps a kernel name ("serial", "tiled", "pooled",
+// "sparse"; "" means serial) to its Kernel value.
 var ParseKernel = semiring.ParseKernel
 
 // NewGraph returns an empty graph with n vertices; add edges with
@@ -144,12 +147,31 @@ type Options struct {
 	// BlockSize is the block size for SeqBlockedFW (default 64).
 	BlockSize int
 	// Kernel selects the min-plus compute kernel (KernelSerial,
-	// KernelTiled or KernelPooled). All kernels give bit-identical
+	// KernelTiled, KernelPooled or KernelSparse). All kernels give bit-identical
 	// results and operation counts; the default serial kernel is usually
 	// right for the distributed solvers, whose ranks already run
 	// concurrently.
 	Kernel Kernel
+	// Wire selects the sparse solver's payload encoding: WirePacked
+	// (default — packed payloads plus symbolic-fill skipping of
+	// provably empty broadcasts) or WireDense (raw dense payloads,
+	// nothing skipped; the ablation baseline). Distances are
+	// bit-identical either way; only measured costs differ.
+	Wire WireFormat
 }
+
+// WireFormat selects the sparse solver's payload encoding; see
+// Options.Wire.
+type WireFormat = apsp.WireFormat
+
+const (
+	// WirePacked ships each block in the smallest of the empty /
+	// sparse-pairs / dense encodings and skips provably empty
+	// broadcasts (the default).
+	WirePacked = apsp.WirePacked
+	// WireDense ships raw dense payloads and skips nothing.
+	WireDense = apsp.WireDense
+)
 
 // Result is a Solve outcome.
 type Result struct {
@@ -204,7 +226,7 @@ func Solve(g *Graph, opts Options) (*Result, error) {
 		if _, err := apsp.HeightForP(opts.P); err != nil {
 			return nil, invalidSparsePError(opts.P)
 		}
-		r, err := apsp.SparseAPSPWith(g, opts.P, apsp.SparseOptions{Seed: opts.Seed, Kernel: opts.Kernel})
+		r, err := apsp.SparseAPSPWith(g, opts.P, apsp.SparseOptions{Seed: opts.Seed, Kernel: opts.Kernel, Wire: opts.Wire})
 		if err != nil {
 			return nil, err
 		}

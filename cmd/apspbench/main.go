@@ -8,6 +8,7 @@
 //
 //	apspbench -exp all
 //	apspbench -exp table2-latency -sides 16,24,32 -ps 9,49,225
+//	apspbench -exp none -kernel sparse -wire packed -bench-out BENCH_sparse.json
 package main
 
 import (
@@ -17,13 +18,14 @@ import (
 	"strconv"
 	"strings"
 
+	"sparseapsp/internal/apsp"
 	"sparseapsp/internal/harness"
 	"sparseapsp/internal/semiring"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, opcount, perlevel, balance, weak, strong, fig1")
+		exp     = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, opcount, perlevel, balance, weak, strong, fig1")
 		sides   = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
 		ps      = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
 		seed    = flag.Int64("seed", 42, "nested-dissection seed")
@@ -32,11 +34,17 @@ func main() {
 		xp      = flag.Int("crossover-p", 49, "crossover experiment machine size")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = flag.String("json", "", "also write all experiment tables as machine-readable JSON to this file")
-		kernel  = flag.String("kernel", "serial", "min-plus kernel for local block arithmetic: serial, tiled, pooled (results and measured costs are identical; wall-clock only)")
+		kernel  = flag.String("kernel", "serial", "min-plus kernel for local block arithmetic: serial, tiled, pooled, sparse (results and measured costs are identical; wall-clock only)")
+		wire    = flag.String("wire", "packed", "sparse-solver payload encoding: packed (structure-aware, the default) or dense (ablation baseline)")
+		bench   = flag.String("bench-out", "", "write the perf-row benchmark sweep (family, n, p, kernel, wire, ns/op, words, flops) as JSON to this file")
 	)
 	flag.Parse()
 
 	kern, err := semiring.ParseKernel(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	wf, err := apsp.ParseWireFormat(*wire)
 	if err != nil {
 		fatal(err)
 	}
@@ -47,6 +55,7 @@ func main() {
 		Seed:         *seed,
 		CyclicFactor: *cyc,
 		Kernel:       kern,
+		Wire:         wf,
 	}
 
 	needSuite := map[string]bool{"all": true, "table2-memory": true,
@@ -97,6 +106,9 @@ func main() {
 		case "crossover":
 			t, err := harness.Crossover(cfg, *xn, *xp)
 			show(name, t, err)
+		case "wire":
+			t, err := harness.WireComparison(cfg, *xn, *xp)
+			show(name, t, err)
 		case "opcount":
 			t, err := harness.OperationCounts(cfg)
 			show(name, t, err)
@@ -127,6 +139,8 @@ func main() {
 		case "fig1":
 			t, err := harness.Figure1(*seed)
 			show(name, t, err)
+		case "none":
+			// Run no experiment tables; used with -bench-out alone.
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -134,7 +148,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table2-memory", "table2-bandwidth", "table2-latency",
-			"factors", "lower", "sepcost", "crossover", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
+			"factors", "lower", "sepcost", "crossover", "wire", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
 			run(name)
 		}
 	} else {
@@ -153,6 +167,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d experiment tables to %s\n", len(collected), *jsonOut)
+	}
+	if *bench != "" {
+		fmt.Fprintf(os.Stderr, "running benchmark sweep: kernel=%s wire=%s ...\n", kern, wf)
+		rows, err := harness.PerfSweep(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WritePerfJSON(f, rows); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d benchmark rows to %s\n", len(rows), *bench)
 	}
 }
 

@@ -39,7 +39,7 @@ func TestDistributedSolversKernelInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled} {
+	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled, semiring.KernelSparse} {
 		res, err := SparseAPSPWith(g, p, SparseOptions{Seed: 3, Kernel: kern})
 		if err != nil {
 			t.Fatalf("sparse %v: %v", kern, err)
@@ -60,7 +60,7 @@ func TestDistributedSolversKernelInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled} {
+	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled, semiring.KernelSparse} {
 		dc, err := DCAPSPKernel(g, 4, 2, kern)
 		if err != nil {
 			t.Fatalf("dc %v: %v", kern, err)
@@ -78,6 +78,63 @@ func TestDistributedSolversKernelInvariant(t *testing.T) {
 	}
 }
 
+// TestSparseAPSPMatchesClassicalFWAllKernels is the end-to-end property
+// test of the kernel and wire layers together: for random graphs from
+// several families and EVERY kernel (including KernelSparse), the
+// distributed sparse solver's distances are bit-identical to the
+// sequential ClassicalFW reference. Weights are small random integers:
+// integer sums are exact in float64, so the distributed elimination and
+// the sequential sweep fold path sums to identical bits even though
+// they associate them differently.
+func TestSparseAPSPMatchesClassicalFWAllKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+		p    int
+	}{
+		{"grid", graph.Grid2D(9, 9, integerWeights(rng, 10)), 9},
+		{"gnp", graph.RandomGNP(70, 0.08, integerWeights(rng, 5), rng), 9},
+		{"tree", graph.RandomTree(90, graph.UnitWeights, rng), 49},
+		{"rmat", graph.RMAT(6, 3, integerWeights(rng, 4), rng), 9},
+		{"star", graph.Star(60, graph.UnitWeights), 9},
+	}
+	for _, tc := range graphs {
+		want := classicalReference(tc.g)
+		for _, kern := range semiring.Kernels() {
+			res, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 11, Kernel: kern})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", tc.name, kern, err)
+			}
+			if !identicalMatrices(res.Dist, want) {
+				t.Errorf("%s/%v: distances differ from ClassicalFW", tc.name, kern)
+			}
+		}
+	}
+}
+
+// integerWeights returns a WeightFn drawing integer weights in [1, hi],
+// which float64 represents and sums exactly.
+func integerWeights(rng *rand.Rand, hi int) graph.WeightFn {
+	return func(u, v int) float64 { return float64(rng.Intn(hi) + 1) }
+}
+
+// classicalReference builds the adjacency matrix and closes it with the
+// serial ClassicalFW.
+func classicalReference(g *graph.Graph) *semiring.Matrix {
+	m := semiring.NewMatrix(g.N(), g.N())
+	for v := 0; v < g.N(); v++ {
+		m.Set(v, v, 0)
+		for _, e := range g.Adj(v) {
+			if e.W < m.At(v, e.To) {
+				m.Set(v, e.To, e.W)
+			}
+		}
+	}
+	semiring.ClassicalFW(m)
+	return m
+}
+
 // TestSequentialSolversKernelInvariant covers the sequential wrappers:
 // same distances bit for bit and the same operation count per kernel.
 func TestSequentialSolversKernelInvariant(t *testing.T) {
@@ -90,7 +147,7 @@ func TestSequentialSolversKernelInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled} {
+	for _, kern := range []semiring.Kernel{semiring.KernelTiled, semiring.KernelPooled, semiring.KernelSparse} {
 		d, ops := FloydWarshallKernel(g, kern)
 		if ops != fwOps || !identicalMatrices(d, fwD) {
 			t.Errorf("FloydWarshall %v: ops=%d want %d (or distances differ)", kern, ops, fwOps)

@@ -62,6 +62,44 @@ const (
 	R4Sequential
 )
 
+// WireFormat selects how block payloads travel between ranks.
+type WireFormat int
+
+const (
+	// WirePacked (the default) is the structure-aware engine: payloads
+	// use the semiring packed encoding (empty marker / sparse pairs /
+	// dense body, whichever is smallest), so the simulated machine is
+	// charged the packed word count, and the symbolic fill mask skips
+	// broadcasts whose payload is provably all-Inf together with the
+	// multiplications they would feed. Distances are bit-identical to
+	// WireDense — only identities are elided.
+	WirePacked WireFormat = iota
+	// WireDense is the legacy behavior: every payload is the raw dense
+	// block body and nothing is skipped. It exists as the ablation
+	// baseline for the packed-vs-dense bandwidth comparison.
+	WireDense
+)
+
+func (w WireFormat) String() string {
+	if w == WireDense {
+		return "dense"
+	}
+	return "packed"
+}
+
+// ParseWireFormat maps a wire-format name ("packed", "dense"; "" means
+// packed) to its WireFormat value.
+func ParseWireFormat(s string) (WireFormat, error) {
+	switch s {
+	case "", "packed":
+		return WirePacked, nil
+	case "dense":
+		return WireDense, nil
+	default:
+		return 0, fmt.Errorf("apsp: unknown wire format %q (valid: packed, dense)", s)
+	}
+}
+
 // SparseOptions configures SparseAPSPWith.
 type SparseOptions struct {
 	Seed       int64
@@ -76,6 +114,9 @@ type SparseOptions struct {
 	// change); the default KernelSerial is usually right because each
 	// rank is already its own goroutine.
 	Kernel semiring.Kernel
+	// Wire selects the payload encoding (and with it the mask-based
+	// skipping); see WireFormat.
+	Wire WireFormat
 }
 
 // SparseAPSPWith is SparseAPSP with explicit options.
@@ -103,6 +144,8 @@ func SparseAPSPWith(g *graph.Graph, p int, opts SparseOptions) (*DistResult, err
 			grid:  grid,
 			tr:    tr,
 			sizes: ly.ND.Sizes,
+			mask:  ly.Fill,
+			wire:  opts.Wire,
 			r4seq: opts.R4Strategy == R4Sequential,
 			kern:  opts.Kernel,
 		}
@@ -149,6 +192,8 @@ type sparseWorker struct {
 	grid     comm.Grid
 	tr       *etree.Tree
 	sizes    []int
+	mask     *FillMask // symbolic fill mask (consulted in WirePacked mode)
+	wire     WireFormat
 	A        *semiring.Matrix
 	myI, myJ int             // 1-based supernode labels of the owned block
 	r4seq    bool            // use the Section 5.2.2 "trivial strategy" for R_l^4
@@ -165,6 +210,41 @@ func (w *sparseWorker) rank(i, j int) int { return w.grid.Rank(i-1, j-1) }
 // active reports whether pivot supernode k has any vertices; empty
 // pivots are skipped entirely (their updates are vacuous).
 func (w *sparseWorker) active(k int) bool { return w.sizes[k] > 0 }
+
+// mayFill reports whether block (i, j) can hold a finite entry at the
+// start of level l. In WireDense mode it is always true (nothing is
+// skipped); in WirePacked mode a false answer lets every rank skip the
+// broadcast of (i, j) and the products it feeds, consistently, because
+// the mask is part of the globally shared Layout. The transpose sends
+// query l+1: they mirror the state a completed level leaves behind.
+func (w *sparseWorker) mayFill(l, i, j int) bool {
+	if w.wire == WireDense {
+		return true
+	}
+	return w.mask.At(l, i, j)
+}
+
+// pack encodes a block body for the wire: the packed encoding in
+// WirePacked mode (the simulated machine charges bandwidth per payload
+// word, so the packed length IS the charged cost), a plain copy in
+// WireDense mode. Always copies, because collective receivers share
+// the payload's backing array.
+func (w *sparseWorker) pack(m *semiring.Matrix) []float64 {
+	if w.wire == WireDense {
+		return append([]float64(nil), m.V...)
+	}
+	return semiring.PackMatrix(m)
+}
+
+// unpack decodes a received payload into a rows×cols block. Like the
+// raw dense path, the result may share the payload's backing array and
+// must be treated as read-only.
+func (w *sparseWorker) unpack(data []float64, rows, cols int) *semiring.Matrix {
+	if w.wire == WireDense {
+		return semiring.FromSlice(rows, cols, data)
+	}
+	return semiring.UnpackMatrix(data, rows, cols)
+}
 
 func (w *sparseWorker) run() {
 	w.ctx.SetMemory(int64(len(w.A.V)))
@@ -188,7 +268,10 @@ func (w *sparseWorker) level(l int) {
 			continue
 		}
 		related := tr.RelatedSet(k)
-		// Column broadcast: P_kk -> P_ik for i related to k.
+		// Column broadcast: P_kk -> P_ik for i related to k. The pivot
+		// diagonal is never empty (it holds distance 0), so the
+		// collective always runs, but a panel the mask proves all-Inf
+		// skips its (vacuous) update.
 		if w.myJ == k && contains(related, w.myI) {
 			group := make([]int, len(related))
 			for x, i := range related {
@@ -196,14 +279,14 @@ func (w *sparseWorker) level(l int) {
 			}
 			var payload []float64
 			if w.myI == k {
-				payload = append([]float64(nil), w.A.V...) // copy: receivers share the buffer
+				payload = w.pack(w.A) // copy: receivers share the buffer
 			}
 			data := w.ctx.Bcast(group, w.rank(k, k), w.tag(l, phR2Col, k, 0), payload)
-			if w.myI != k {
-				dk := semiring.FromSlice(w.sizes[k], w.sizes[k], data)
-				w.ctx.AddMemory(int64(len(data)))
+			if w.myI != k && w.mayFill(l, w.myI, k) {
+				dk := w.unpack(data, w.sizes[k], w.sizes[k])
+				w.ctx.AddMemory(int64(len(dk.V)))
 				w.ctx.AddFlops(w.kern.PanelUpdateLeft(w.A, dk))
-				w.ctx.AddMemory(-int64(len(data)))
+				w.ctx.AddMemory(-int64(len(dk.V)))
 			}
 		}
 		// Row broadcast: P_kk -> P_kj for j related to k.
@@ -214,14 +297,14 @@ func (w *sparseWorker) level(l int) {
 			}
 			var payload []float64
 			if w.myJ == k {
-				payload = append([]float64(nil), w.A.V...)
+				payload = w.pack(w.A)
 			}
 			data := w.ctx.Bcast(group, w.rank(k, k), w.tag(l, phR2Row, k, 0), payload)
-			if w.myJ != k {
-				dk := semiring.FromSlice(w.sizes[k], w.sizes[k], data)
-				w.ctx.AddMemory(int64(len(data)))
+			if w.myJ != k && w.mayFill(l, k, w.myJ) {
+				dk := w.unpack(data, w.sizes[k], w.sizes[k])
+				w.ctx.AddMemory(int64(len(dk.V)))
 				w.ctx.AddFlops(w.kern.PanelUpdateRight(w.A, dk))
-				w.ctx.AddMemory(-int64(len(data)))
+				w.ctx.AddMemory(-int64(len(dk.V)))
 			}
 		}
 	}
@@ -237,42 +320,49 @@ func (w *sparseWorker) level(l int) {
 		related := tr.RelatedSet(k)
 		iAmRelatedRow := w.myI != k && contains(related, w.myI)
 		iAmRelatedCol := w.myJ != k && contains(related, w.myJ)
-		// Row broadcast for my row (root P(myI, k)).
-		if iAmRelatedRow && contains(related, w.myJ) {
+		// Row broadcast for my row (root P(myI, k)). Skipped outright —
+		// by every rank of the row, consistently — when the mask proves
+		// A(myI, k) all-Inf: its product contributes nothing.
+		if iAmRelatedRow && contains(related, w.myJ) && w.mayFill(l, w.myI, k) {
 			group := make([]int, len(related))
 			for x, j := range related {
 				group[x] = w.rank(w.myI, j)
 			}
 			var payload []float64
 			if w.myJ == k {
-				payload = append([]float64(nil), w.A.V...)
+				payload = w.pack(w.A)
 			}
 			data := w.ctx.Bcast(group, w.rank(w.myI, k), w.tag(l, phR3Row, k, w.myI), payload)
 			if w.region3Pivot(l) == k {
-				rowPanel = semiring.FromSlice(w.sizes[w.myI], w.sizes[k], data)
-				w.ctx.AddMemory(int64(len(data)))
+				rowPanel = w.unpack(data, w.sizes[w.myI], w.sizes[k])
+				w.ctx.AddMemory(int64(len(rowPanel.V)))
 			}
 		}
 		// Column broadcast for my column (root P(k, myJ)).
-		if iAmRelatedCol && contains(related, w.myI) {
+		if iAmRelatedCol && contains(related, w.myI) && w.mayFill(l, k, w.myJ) {
 			group := make([]int, len(related))
 			for x, i := range related {
 				group[x] = w.rank(i, w.myJ)
 			}
 			var payload []float64
 			if w.myI == k {
-				payload = append([]float64(nil), w.A.V...)
+				payload = w.pack(w.A)
 			}
 			data := w.ctx.Bcast(group, w.rank(k, w.myJ), w.tag(l, phR3Col, k, w.myJ), payload)
 			if w.region3Pivot(l) == k {
-				colPanel = semiring.FromSlice(w.sizes[k], w.sizes[w.myJ], data)
-				w.ctx.AddMemory(int64(len(data)))
+				colPanel = w.unpack(data, w.sizes[k], w.sizes[w.myJ])
+				w.ctx.AddMemory(int64(len(colPanel.V)))
 			}
 		}
 	}
 	if rowPanel != nil && colPanel != nil {
 		w.ctx.AddFlops(w.kern.MulAddInto(w.A, rowPanel, colPanel))
-		w.ctx.AddMemory(-int64(len(rowPanel.V) + len(colPanel.V)))
+	}
+	if rowPanel != nil {
+		w.ctx.AddMemory(-int64(len(rowPanel.V)))
+	}
+	if colPanel != nil {
+		w.ctx.AddMemory(-int64(len(colPanel.V)))
 	}
 
 	// ---- R_l^4 (lines 13-26). ----
@@ -301,15 +391,20 @@ func (w *sparseWorker) regionFourSequential(l int) {
 			if !w.active(k) {
 				continue
 			}
+			// Both panel owners and the block owner agree, from the
+			// shared mask, that a provably all-Inf product moves nothing.
+			if !w.mayFill(l, b.I, k) || !w.mayFill(l, k, b.J) {
+				continue
+			}
 			aikOwner := w.rank(b.I, k)
 			akjOwner := w.rank(k, b.J)
 			owner := w.rank(b.I, b.J)
 			// Panel owners send; the block owner receives and folds.
 			if w.ctx.Rank() == aikOwner && owner != aikOwner {
-				w.ctx.Send(owner, w.tag(l, phR4SeqA, k, b.J), append([]float64(nil), w.A.V...))
+				w.ctx.Send(owner, w.tag(l, phR4SeqA, k, b.J), w.pack(w.A))
 			}
 			if w.ctx.Rank() == akjOwner && owner != akjOwner {
-				w.ctx.Send(owner, w.tag(l, phR4SeqB, k, b.I), append([]float64(nil), w.A.V...))
+				w.ctx.Send(owner, w.tag(l, phR4SeqB, k, b.I), w.pack(w.A))
 			}
 			if w.ctx.Rank() == owner {
 				var aik, akj *semiring.Matrix
@@ -318,15 +413,15 @@ func (w *sparseWorker) regionFourSequential(l int) {
 					aik = w.A
 				} else {
 					data := w.ctx.Recv(aikOwner, w.tag(l, phR4SeqA, k, b.J))
-					aik = semiring.FromSlice(w.sizes[b.I], w.sizes[k], data)
-					transient += int64(len(data))
+					aik = w.unpack(data, w.sizes[b.I], w.sizes[k])
+					transient += int64(len(aik.V))
 				}
 				if owner == akjOwner {
 					akj = w.A
 				} else {
 					data := w.ctx.Recv(akjOwner, w.tag(l, phR4SeqB, k, b.I))
-					akj = semiring.FromSlice(w.sizes[k], w.sizes[b.J], data)
-					transient += int64(len(data))
+					akj = w.unpack(data, w.sizes[k], w.sizes[b.J])
+					transient += int64(len(akj.V))
 				}
 				w.ctx.AddMemory(transient)
 				w.ctx.AddFlops(w.kern.MulAddInto(w.A, aik, akj))
@@ -339,16 +434,15 @@ func (w *sparseWorker) regionFourSequential(l int) {
 		if b.I == b.J || w.sizes[b.I] == 0 || w.sizes[b.J] == 0 {
 			continue
 		}
-		if !w.anyActiveUnit(l, b.I) {
+		if !w.anyActiveUnit(l, b.I) || !w.mayFill(l+1, b.I, b.J) {
 			continue
 		}
 		if w.myI == b.I && w.myJ == b.J {
-			w.ctx.Send(w.rank(b.J, b.I), w.tag(l, phR4Transpose, b.I, b.J),
-				append([]float64(nil), w.A.V...))
+			w.ctx.Send(w.rank(b.J, b.I), w.tag(l, phR4Transpose, b.I, b.J), w.pack(w.A))
 		}
 		if w.myI == b.J && w.myJ == b.I {
 			data := w.ctx.Recv(w.rank(b.I, b.J), w.tag(l, phR4Transpose, b.I, b.J))
-			src := semiring.FromSlice(w.sizes[b.I], w.sizes[b.J], data)
+			src := w.unpack(data, w.sizes[b.I], w.sizes[b.J])
 			w.A.CopyFrom(src.Transpose())
 		}
 	}
@@ -408,6 +502,9 @@ func (w *sparseWorker) regionFour(l int) {
 		}
 		for a := l + 1; a <= tr.H; a++ {
 			i := tr.AncestorAtLevel(k, a)
+			if !w.mayFill(l, i, k) {
+				continue // provably empty panel: no rank enters the broadcast
+			}
 			root := w.rank(i, k)
 			group := []int{root}
 			mine := false
@@ -425,12 +522,12 @@ func (w *sparseWorker) regionFour(l int) {
 			}
 			var payload []float64
 			if w.ctx.Rank() == root {
-				payload = append([]float64(nil), w.A.V...)
+				payload = w.pack(w.A)
 			}
 			data := w.ctx.Bcast(group, root, w.tag(l, phR4ColPanel, k, a), payload)
 			if mine && unitK == k && unitI == i {
-				unitAik = semiring.FromSlice(w.sizes[i], w.sizes[k], data)
-				w.ctx.AddMemory(int64(len(data)))
+				unitAik = w.unpack(data, w.sizes[i], w.sizes[k])
+				w.ctx.AddMemory(int64(len(unitAik.V)))
 			}
 		}
 	}
@@ -442,6 +539,9 @@ func (w *sparseWorker) regionFour(l int) {
 		}
 		for c := l + 1; c <= tr.H; c++ {
 			j := tr.AncestorAtLevel(k, c)
+			if !w.mayFill(l, k, j) {
+				continue
+			}
 			root := w.rank(k, j)
 			group := []int{root}
 			mine := false
@@ -459,12 +559,12 @@ func (w *sparseWorker) regionFour(l int) {
 			}
 			var payload []float64
 			if w.ctx.Rank() == root {
-				payload = append([]float64(nil), w.A.V...)
+				payload = w.pack(w.A)
 			}
 			data := w.ctx.Bcast(group, root, w.tag(l, phR4RowPanel, k, c), payload)
 			if mine && unitK == k && unitJ == j {
-				unitAkj = semiring.FromSlice(w.sizes[k], w.sizes[j], data)
-				w.ctx.AddMemory(int64(len(data)))
+				unitAkj = w.unpack(data, w.sizes[k], w.sizes[j])
+				w.ctx.AddMemory(int64(len(unitAkj.V)))
 			}
 		}
 	}
@@ -485,7 +585,11 @@ func (w *sparseWorker) regionFour(l int) {
 		pivots := tr.UnitsFor(l, b.I, b.J)
 		var group []int
 		for x, g := range cols {
-			if w.active(pivots[x]) {
+			// A unit joins the reduce only if both its panels can be
+			// finite — otherwise its product is provably all-Inf and its
+			// panel broadcasts were skipped above (so it holds no unit).
+			if w.active(pivots[x]) &&
+				w.mayFill(l, b.I, pivots[x]) && w.mayFill(l, pivots[x], b.J) {
 				group = append(group, w.grid.Rank(row-1, g-1))
 			}
 		}
@@ -518,21 +622,22 @@ func (w *sparseWorker) regionFour(l int) {
 	}
 
 	// Transpose sends (line 25): the level(i) > level(j) half of R_l^4
-	// is the mirror of the computed half.
+	// is the mirror of the computed half. A block the mask proves still
+	// all-Inf after this level has an equally empty mirror (the mask is
+	// symmetric), so both sides skip the exchange.
 	for _, b := range tr.R4Lower(l) {
 		if b.I == b.J || w.sizes[b.I] == 0 || w.sizes[b.J] == 0 {
 			continue
 		}
-		if !w.anyActiveUnit(l, b.I) {
+		if !w.anyActiveUnit(l, b.I) || !w.mayFill(l+1, b.I, b.J) {
 			continue
 		}
 		if w.myI == b.I && w.myJ == b.J {
-			w.ctx.Send(w.rank(b.J, b.I), w.tag(l, phR4Transpose, b.I, b.J),
-				append([]float64(nil), w.A.V...))
+			w.ctx.Send(w.rank(b.J, b.I), w.tag(l, phR4Transpose, b.I, b.J), w.pack(w.A))
 		}
 		if w.myI == b.J && w.myJ == b.I {
 			data := w.ctx.Recv(w.rank(b.I, b.J), w.tag(l, phR4Transpose, b.I, b.J))
-			src := semiring.FromSlice(w.sizes[b.I], w.sizes[b.J], data)
+			src := w.unpack(data, w.sizes[b.I], w.sizes[b.J])
 			w.A.CopyFrom(src.Transpose())
 		}
 	}

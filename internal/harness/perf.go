@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"sparseapsp/internal/apsp"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// PerfRow is one machine-readable benchmark measurement, the row format
+// behind apspbench's -bench-out flag. Two kinds of rows appear in a
+// sweep: distributed solver rows (P > 0; Words is the run's total wire
+// traffic, Flops its total charged semiring operations) and local
+// min-plus panel rows (P = 0, family "panel-d<density>"; Words is 0).
+// NsPerOp is wall clock, so it varies run to run — the simulated Words
+// and Flops columns are exact and reproducible.
+type PerfRow struct {
+	Family  string `json:"family"`
+	N       int    `json:"n"`
+	P       int    `json:"p"`
+	Kernel  string `json:"kernel"`
+	Wire    string `json:"wire,omitempty"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Words   int64  `json:"words"`
+	Flops   int64  `json:"flops"`
+}
+
+// perfPanelN and perfPanelDensities fix the local kernel micro-rows:
+// one n×n min-plus panel product per density, timed with the sweep's
+// kernel. The densities bracket SparseDensityThreshold from below so
+// the CSR path, not the tiled fallback, is what gets measured.
+const perfPanelN = 512
+
+var perfPanelDensities = []float64{0.01, 0.05, 0.25}
+
+// PerfSweep runs the solver benchmark grid (graph families × machine
+// sizes, all with cfg.Kernel and cfg.Wire) plus the local panel
+// micro-benchmarks, and returns the rows. Families cover the regimes
+// the block engine distinguishes: 2D grids (the paper's target, blocks
+// fill dense), random trees (tiny separators, mask skips bite) and
+// stars (whole panels provably empty).
+func PerfSweep(cfg Config) ([]PerfRow, error) {
+	var rows []PerfRow
+	for _, side := range cfg.GridSides {
+		n := side * side
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		w := graph.RandomWeights(rng, 1, 10)
+		families := []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"grid2d", graph.Grid2D(side, side, w)},
+			{"tree", graph.RandomTree(n, w, rng)},
+			{"star", graph.Star(n, w)},
+		}
+		for _, fam := range families {
+			for _, p := range cfg.Ps {
+				start := time.Now()
+				res, err := apsp.SparseAPSPWith(fam.g, p, cfg.sparseOpts())
+				if err != nil {
+					return nil, fmt.Errorf("perf %s n=%d p=%d: %w", fam.name, n, p, err)
+				}
+				ns := time.Since(start).Nanoseconds()
+				var flops int64
+				for _, f := range res.Report.LocalFlops {
+					flops += f
+				}
+				rows = append(rows, PerfRow{
+					Family: fam.name, N: fam.g.N(), P: p,
+					Kernel: cfg.Kernel.String(), Wire: cfg.Wire.String(),
+					NsPerOp: ns, Words: res.Report.TotalWords, Flops: flops,
+				})
+			}
+		}
+	}
+	rows = append(rows, panelRows(cfg)...)
+	return rows, nil
+}
+
+// panelRows times one min-plus panel product per density with the
+// sweep's kernel: C = C ⊕ A ⊗ B on perfPanelN-sized blocks where A has
+// the given fraction of finite entries. Best of three runs, since wall
+// clock is the one noisy column.
+func panelRows(cfg Config) []PerfRow {
+	var rows []PerfRow
+	for _, d := range perfPanelDensities {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		a := randomPanel(perfPanelN, d, rng)
+		b := randomPanel(perfPanelN, 1, rng)
+		var best int64
+		var ops int64
+		for rep := 0; rep < 3; rep++ {
+			c := randomPanel(perfPanelN, 1, rng)
+			start := time.Now()
+			ops = cfg.Kernel.MulAddInto(c, a, b)
+			if ns := time.Since(start).Nanoseconds(); rep == 0 || ns < best {
+				best = ns
+			}
+		}
+		rows = append(rows, PerfRow{
+			Family: fmt.Sprintf("panel-d%g", d), N: perfPanelN,
+			Kernel: cfg.Kernel.String(), NsPerOp: best, Flops: ops,
+		})
+	}
+	return rows
+}
+
+// randomPanel builds an n×n block with the given fraction of finite
+// entries.
+func randomPanel(n int, density float64, rng *rand.Rand) *semiring.Matrix {
+	m := semiring.NewMatrix(n, n)
+	for i := range m.V {
+		if rng.Float64() < density {
+			m.V[i] = 1 + rng.Float64()*9
+		}
+	}
+	return m
+}
+
+// WritePerfJSON writes the rows as indented JSON, one object per row.
+func WritePerfJSON(w io.Writer, rows []PerfRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

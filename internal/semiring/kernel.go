@@ -14,16 +14,21 @@ import "fmt"
 //	              kernel, tile sizes from a one-time autotune
 //	KernelPooled  the tiled kernel fanned out over the persistent
 //	              DefaultPool worker set
+//	KernelSparse  CSR index over the finite entries of A, falling back
+//	              to the tiled kernel above SparseDensityThreshold
 type Kernel int
 
 const (
 	KernelSerial Kernel = iota
 	KernelTiled
 	KernelPooled
+	KernelSparse
 )
 
 // Kernels lists every selectable kernel, in parse-name order.
-func Kernels() []Kernel { return []Kernel{KernelSerial, KernelTiled, KernelPooled} }
+func Kernels() []Kernel {
+	return []Kernel{KernelSerial, KernelTiled, KernelPooled, KernelSparse}
+}
 
 func (k Kernel) String() string {
 	switch k {
@@ -33,13 +38,15 @@ func (k Kernel) String() string {
 		return "tiled"
 	case KernelPooled:
 		return "pooled"
+	case KernelSparse:
+		return "sparse"
 	default:
 		return fmt.Sprintf("Kernel(%d)", int(k))
 	}
 }
 
-// ParseKernel maps a kernel name ("serial", "tiled", "pooled"; "" means
-// serial) to its Kernel value.
+// ParseKernel maps a kernel name ("serial", "tiled", "pooled",
+// "sparse"; "" means serial) to its Kernel value.
 func ParseKernel(s string) (Kernel, error) {
 	switch s {
 	case "", "serial":
@@ -48,8 +55,10 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelTiled, nil
 	case "pooled":
 		return KernelPooled, nil
+	case "sparse":
+		return KernelSparse, nil
 	default:
-		return 0, fmt.Errorf("semiring: unknown kernel %q (valid: serial, tiled, pooled)", s)
+		return 0, fmt.Errorf("semiring: unknown kernel %q (valid: serial, tiled, pooled, sparse)", s)
 	}
 }
 
@@ -60,6 +69,8 @@ func (k Kernel) MulAddInto(c, a, b *Matrix) int64 {
 		return MulAddIntoTiled(c, a, b)
 	case KernelPooled:
 		return MulAddIntoPooled(c, a, b)
+	case KernelSparse:
+		return MulAddIntoSparse(c, a, b)
 	default:
 		return MulAddInto(c, a, b)
 	}
@@ -78,9 +89,11 @@ func (k Kernel) PanelUpdateRight(p, d *Matrix) int64 {
 }
 
 // ClassicalFW runs the Floyd–Warshall update with the selected kernel.
-// The pivot loop is inherently sequential, so KernelTiled falls back to
-// the serial loop (the pivot row already streams cache-friendly);
-// KernelPooled parallelizes each pivot step's independent row updates.
+// The pivot loop is inherently sequential, so KernelTiled and
+// KernelSparse fall back to the serial loop (the pivot row already
+// streams cache-friendly, and the matrix mutates every pivot step so a
+// CSR index would be stale immediately); KernelPooled parallelizes each
+// pivot step's independent row updates.
 func (k Kernel) ClassicalFW(m *Matrix) int64 {
 	if k == KernelPooled {
 		return classicalFWPooled(DefaultPool, m)

@@ -65,7 +65,7 @@ func TestKernelsMatchSerial(t *testing.T) {
 			cInit := randKernelMatrix(r, c, 0.5, rng)
 			want := cInit.Clone()
 			wantOps := MulAddInto(want, a, b)
-			for _, kern := range []Kernel{KernelTiled, KernelPooled} {
+			for _, kern := range []Kernel{KernelTiled, KernelPooled, KernelSparse} {
 				got := cInit.Clone()
 				gotOps := kern.MulAddInto(got, a, b)
 				if gotOps != wantOps {
@@ -90,7 +90,7 @@ func TestKernelClassicalFWMatchesSerial(t *testing.T) {
 		m := randKernelMatrix(n, n, 0.6, rng)
 		want := m.Clone()
 		wantOps := ClassicalFW(want)
-		for _, kern := range []Kernel{KernelTiled, KernelPooled} {
+		for _, kern := range []Kernel{KernelTiled, KernelPooled, KernelSparse} {
 			got := m.Clone()
 			gotOps := kern.ClassicalFW(got)
 			if gotOps != wantOps {
@@ -114,7 +114,7 @@ func TestKernelBlockedFWMatchesSerial(t *testing.T) {
 	}
 	want := m.Clone()
 	wantOps := BlockedFW(want, 16)
-	for _, kern := range []Kernel{KernelTiled, KernelPooled} {
+	for _, kern := range []Kernel{KernelTiled, KernelPooled, KernelSparse} {
 		for _, b := range []int{16, 25, 80} {
 			got := m.Clone()
 			ref := m.Clone()
@@ -148,7 +148,7 @@ func TestPanelUpdatesMatchSerial(t *testing.T) {
 	wantLOps := PanelUpdateLeft(wantL, d)
 	wantR := pR.Clone()
 	wantROps := PanelUpdateRight(wantR, d)
-	for _, kern := range []Kernel{KernelTiled, KernelPooled} {
+	for _, kern := range []Kernel{KernelTiled, KernelPooled, KernelSparse} {
 		gotL := pL.Clone()
 		if ops := kern.PanelUpdateLeft(gotL, d); ops != wantLOps || !bitIdentical(gotL, wantL) {
 			t.Fatalf("%v PanelUpdateLeft mismatch (ops=%d want %d)", kern, ops, wantLOps)

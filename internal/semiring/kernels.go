@@ -207,12 +207,22 @@ func BlockedFWKernel(m *Matrix, b int, kern Kernel) int64 {
 			if i == k {
 				continue
 			}
+			// The sparse kernel builds the column panel's CSR index once
+			// and reuses it across all nb-1 outer products of block row i.
+			var ixc *SparseIndex
+			if kern == KernelSparse {
+				ixc = IndexIfSparse(panelsCol[i])
+			}
 			for j := 0; j < nb; j++ {
 				if j == k {
 					continue
 				}
 				blk := view(i, j)
-				ops += kern.MulAddInto(blk, panelsCol[i], panelsRow[j])
+				if ixc != nil {
+					ops += ixc.MulAddInto(blk, panelsRow[j])
+				} else {
+					ops += kern.MulAddInto(blk, panelsCol[i], panelsRow[j])
+				}
 				store(i, j, blk)
 			}
 		}

@@ -114,16 +114,31 @@ func (m *Matrix) EqualTol(o *Matrix, tol float64) bool {
 	return true
 }
 
-// IsAllInf reports whether every entry is Inf — the "empty block"
-// predicate of Section 4.1 whose computations can be skipped.
-func (m *Matrix) IsAllInf() bool {
+// NNZ counts the finite entries of m — the structural nonzeros of the
+// min-plus semiring, where Inf is the additive identity.
+func (m *Matrix) NNZ() int {
+	nnz := 0
 	for _, v := range m.V {
 		if !math.IsInf(v, 1) {
-			return false
+			nnz++
 		}
 	}
-	return true
+	return nnz
 }
+
+// Density is NNZ divided by the matrix area; an empty (0-dimension)
+// matrix has density 0. The packed wire encoder and the sparse kernel's
+// fallback threshold both key off this value.
+func (m *Matrix) Density() float64 {
+	if len(m.V) == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(len(m.V))
+}
+
+// IsAllInf reports whether every entry is Inf — the "empty block"
+// predicate of Section 4.1 whose computations can be skipped.
+func (m *Matrix) IsAllInf() bool { return m.NNZ() == 0 }
 
 // MinInto folds src into dst element-wise: dst = dst ⊕ src. It is the
 // reduction operator passed to comm collectives.

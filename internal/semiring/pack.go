@@ -1,0 +1,138 @@
+package semiring
+
+import (
+	"fmt"
+	"math"
+)
+
+// Packed block wire format.
+//
+// The distributed solvers broadcast supernodal blocks between ranks,
+// and the simulated machine charges bandwidth per payload word — so
+// the encoding of a block IS its wire cost. A dense n²-word payload
+// for an all-Inf block is exactly the waste the paper's |S|² bandwidth
+// term says a sparse-aware implementation avoids. Pack chooses, per
+// block, the smallest of three encodings:
+//
+//	[packEmpty]                           1 word: every entry is Inf
+//	[packDense, v0, v1, ...]              1 + n words: raw row-major body
+//	[packSparse, nnz, i0, v0, i1, v1, ..] 2 + 2·nnz words: flat index +
+//	                                      value pairs, ascending index
+//
+// The tag and indices are stored as float64 — the simulated machine
+// moves words, not bytes, and flat indices below 2^53 are exact. The
+// receiver knows the block's dimensions from the shared Layout, so
+// they are never on the wire.
+const (
+	packEmpty  = 0
+	packDense  = 1
+	packSparse = 2
+)
+
+// PackedLen returns the wire length Pack would produce for v without
+// materializing the payload.
+func PackedLen(v []float64) int {
+	nnz := 0
+	for _, x := range v {
+		if !math.IsInf(x, 1) {
+			nnz++
+		}
+	}
+	return packedLenFor(len(v), nnz)
+}
+
+func packedLenFor(n, nnz int) int {
+	if nnz == 0 {
+		return 1
+	}
+	if sparse := 2 + 2*nnz; sparse < 1+n {
+		return sparse
+	}
+	return 1 + n
+}
+
+// Pack encodes v (the row-major body of a block) in the smallest of
+// the three wire encodings. The result never aliases v.
+func Pack(v []float64) []float64 {
+	nnz := 0
+	for _, x := range v {
+		if !math.IsInf(x, 1) {
+			nnz++
+		}
+	}
+	if nnz == 0 {
+		return []float64{packEmpty}
+	}
+	if 2+2*nnz < 1+len(v) {
+		out := make([]float64, 2, 2+2*nnz)
+		out[0], out[1] = packSparse, float64(nnz)
+		for i, x := range v {
+			if !math.IsInf(x, 1) {
+				out = append(out, float64(i), x)
+			}
+		}
+		return out
+	}
+	out := make([]float64, 1+len(v))
+	out[0] = packDense
+	copy(out[1:], v)
+	return out
+}
+
+// Unpack decodes a Pack payload back to a length-n row-major body.
+// For the dense encoding the returned slice aliases payload (matching
+// the zero-copy semantics of the simulated collectives, whose receivers
+// must treat broadcast data as read-only); the empty and sparse
+// encodings allocate.
+func Unpack(payload []float64, n int) []float64 {
+	if len(payload) == 0 {
+		panic("semiring: Unpack of empty payload")
+	}
+	switch payload[0] {
+	case packEmpty:
+		if len(payload) != 1 {
+			panic(fmt.Sprintf("semiring: empty encoding with %d words", len(payload)))
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = Inf
+		}
+		return v
+	case packDense:
+		if len(payload) != 1+n {
+			panic(fmt.Sprintf("semiring: dense encoding %d words for n=%d", len(payload), n))
+		}
+		return payload[1:]
+	case packSparse:
+		if len(payload) < 2 {
+			panic("semiring: truncated sparse encoding")
+		}
+		nnz := int(payload[1])
+		if len(payload) != 2+2*nnz {
+			panic(fmt.Sprintf("semiring: sparse encoding %d words for nnz=%d", len(payload), nnz))
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = Inf
+		}
+		for t := 0; t < nnz; t++ {
+			idx := int(payload[2+2*t])
+			if idx < 0 || idx >= n {
+				panic(fmt.Sprintf("semiring: sparse index %d out of range [0,%d)", idx, n))
+			}
+			v[idx] = payload[3+2*t]
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("semiring: unknown pack tag %g", payload[0]))
+	}
+}
+
+// PackMatrix encodes m's body for the wire.
+func PackMatrix(m *Matrix) []float64 { return Pack(m.V) }
+
+// UnpackMatrix decodes a PackMatrix payload into a rows×cols matrix.
+// Like Unpack, the dense encoding shares the payload's backing array.
+func UnpackMatrix(payload []float64, rows, cols int) *Matrix {
+	return FromSlice(rows, cols, Unpack(payload, rows*cols))
+}
