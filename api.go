@@ -158,7 +158,27 @@ type Options struct {
 	// nothing skipped; the ablation baseline). Distances are
 	// bit-identical either way; only measured costs differ.
 	Wire WireFormat
+	// Plans, when non-nil, caches the sparse solver's symbolic plans
+	// (ordering + eTree + fill mask + full op schedule) under a
+	// weights-independent StructureFingerprint: repeated solves on one
+	// graph structure — the serving and weight-update workloads — pay
+	// the symbolic cost once. Ignored by the non-sparse algorithms.
+	Plans *PlanCache
 }
+
+// PlanCache caches the sparse solver's symbolic plans across solves;
+// see Options.Plans and internal/apsp.PlanCache.
+type PlanCache = apsp.PlanCache
+
+// NewPlanCache returns an empty plan cache to share across solves.
+func NewPlanCache() *PlanCache { return apsp.NewPlanCache() }
+
+// PlanCacheStats is a snapshot of a plan cache's counters.
+type PlanCacheStats = apsp.PlanCacheStats
+
+// StructureFingerprint identifies the weights-independent structure of
+// a sparse solve — the plan cache key; see Options.Plans.
+type StructureFingerprint = apsp.StructureFingerprint
 
 // WireFormat selects the sparse solver's payload encoding; see
 // Options.Wire.
@@ -226,7 +246,7 @@ func Solve(g *Graph, opts Options) (*Result, error) {
 		if _, err := apsp.HeightForP(opts.P); err != nil {
 			return nil, invalidSparsePError(opts.P)
 		}
-		r, err := apsp.SparseAPSPWith(g, opts.P, apsp.SparseOptions{Seed: opts.Seed, Kernel: opts.Kernel, Wire: opts.Wire})
+		r, err := apsp.SparseAPSPWith(g, opts.P, apsp.SparseOptions{Seed: opts.Seed, Kernel: opts.Kernel, Wire: opts.Wire, Plans: opts.Plans})
 		if err != nil {
 			return nil, err
 		}
@@ -395,9 +415,19 @@ func NewOracle(g *Graph, opts Options) (*Oracle, error) {
 
 // NewOracleRegistry returns an oracle cache that solves graphs on
 // demand with the configuration in opts, retaining at most budgetBytes
-// of solved results (<= 0 means unlimited).
+// of solved results (<= 0 means unlimited). Unless opts already
+// carries a PlanCache, the registry gets its own shared one, so every
+// sparse solve it runs reuses symbolic plans across graphs with the
+// same structure; the cache's counters surface through Registry.Stats.
 func NewOracleRegistry(opts Options, budgetBytes int64) *OracleRegistry {
-	return oracle.NewRegistry(oracle.Config{Solve: oracleSolver(opts), MemoryBudget: budgetBytes})
+	if opts.Plans == nil {
+		opts.Plans = NewPlanCache()
+	}
+	return oracle.NewRegistry(oracle.Config{
+		Solve:        oracleSolver(opts),
+		MemoryBudget: budgetBytes,
+		Plans:        opts.Plans,
+	})
 }
 
 // VerifyDistances cheaply certifies that d looks like a correct APSP

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, opcount, perlevel, balance, weak, strong, fig1")
+		exp     = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, plan, opcount, perlevel, balance, weak, strong, fig1")
 		sides   = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
 		ps      = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
 		seed    = flag.Int64("seed", 42, "nested-dissection seed")
@@ -37,6 +37,7 @@ func main() {
 		kernel  = flag.String("kernel", "serial", "min-plus kernel for local block arithmetic: serial, tiled, pooled, sparse (results and measured costs are identical; wall-clock only)")
 		wire    = flag.String("wire", "packed", "sparse-solver payload encoding: packed (structure-aware, the default) or dense (ablation baseline)")
 		bench   = flag.String("bench-out", "", "write the perf-row benchmark sweep (family, n, p, kernel, wire, ns/op, words, flops) as JSON to this file")
+		force   = flag.Bool("force", false, "allow -bench-out to overwrite an existing file (committed reference runs are protected by default)")
 	)
 	flag.Parse()
 
@@ -109,6 +110,9 @@ func main() {
 		case "wire":
 			t, err := harness.WireComparison(cfg, *xn, *xp)
 			show(name, t, err)
+		case "plan":
+			t, err := harness.PlanReuse(cfg, *xn, *xp)
+			show(name, t, err)
 		case "opcount":
 			t, err := harness.OperationCounts(cfg)
 			show(name, t, err)
@@ -148,7 +152,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table2-memory", "table2-bandwidth", "table2-latency",
-			"factors", "lower", "sepcost", "crossover", "wire", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
+			"factors", "lower", "sepcost", "crossover", "wire", "plan", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
 			run(name)
 		}
 	} else {
@@ -169,6 +173,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %d experiment tables to %s\n", len(collected), *jsonOut)
 	}
 	if *bench != "" {
+		// Committed reference runs (BENCH_*.json) must not be clobbered
+		// by a stray rerun; require -force to overwrite.
+		if !*force {
+			if _, err := os.Stat(*bench); err == nil {
+				fatal(fmt.Errorf("-bench-out %s already exists; pass -force to overwrite", *bench))
+			}
+		}
 		fmt.Fprintf(os.Stderr, "running benchmark sweep: kernel=%s wire=%s ...\n", kern, wf)
 		rows, err := harness.PerfSweep(cfg)
 		if err != nil {

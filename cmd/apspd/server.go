@@ -278,6 +278,13 @@ type registrySnapshot struct {
 	QueriesServed   int64   `json:"queries_served"`
 	QueriesInFlight int64   `json:"queries_in_flight"`
 	QueryMs         float64 `json:"query_ms"`
+	// Symbolic plan-cache counters of the sparse solver: plan_hits are
+	// solves that reused a cached plan (zero ordering/eTree/fill-mask
+	// work). All zero when the registry's solver runs without a cache.
+	PlanBuilds  int64   `json:"plan_builds"`
+	PlanHits    int64   `json:"plan_hits"`
+	PlanEntries int     `json:"plan_entries"`
+	PlanBuildMs float64 `json:"plan_build_ms"`
 }
 
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
@@ -296,6 +303,10 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 			QueriesServed:   st.QueriesServed,
 			QueriesInFlight: st.QueriesInFlight,
 			QueryMs:         float64(st.QueryNanos) / 1e6,
+			PlanBuilds:      st.PlanBuilds,
+			PlanHits:        st.PlanHits,
+			PlanEntries:     st.PlanEntries,
+			PlanBuildMs:     float64(st.PlanBuildNanos) / 1e6,
 		},
 		Endpoints: make(map[string]endpointSnapshot, len(s.endpoints)),
 	}

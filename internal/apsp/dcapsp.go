@@ -29,9 +29,13 @@ import (
 // O(n²/√p·log p) and latency O(√p·log²p) with binomial broadcasts —
 // the Table 2 dense column.
 //
-// The cyclic factor trades latency (grows with c) against load balance
-// during the recursion (improves with c); c = 4 is the default used by
-// the experiments, and BenchmarkLayoutAblation sweeps it.
+// Like the sparse solver, DCAPSP is split symbolic/numeric: the Kleene
+// recursion is unrolled once into a flat dcSchedule (it depends only
+// on the block count, not on weights), and each rank replays the
+// schedule. The cyclic factor trades latency (grows with c) against
+// load balance during the recursion (improves with c); c = 4 is the
+// default used by the experiments, and BenchmarkLayoutAblation sweeps
+// it.
 func DCAPSP(g *graph.Graph, p int, cyclicFactor int) (*DistResult, error) {
 	return DCAPSPKernel(g, p, cyclicFactor, semiring.KernelSerial)
 }
@@ -90,6 +94,7 @@ func DCAPSPKernel(g *graph.Graph, p int, cyclicFactor int, kern semiring.Kernel)
 		}
 	}
 
+	sched := buildDCSchedule(nb)
 	machine := comm.NewMachine(p)
 	err = machine.Run(func(ctx *comm.Ctx) {
 		w := &dcWorker{
@@ -107,7 +112,7 @@ func DCAPSPKernel(g *graph.Graph, p int, cyclicFactor int, kern semiring.Kernel)
 			words += int64(len(m.V))
 		}
 		ctx.SetMemory(words)
-		w.apsp(0, nb)
+		w.run(sched)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("apsp: DC-APSP solver failed: %w", err)
@@ -126,6 +131,63 @@ func DCAPSPKernel(g *graph.Graph, p int, cyclicFactor int, kern semiring.Kernel)
 	return &DistResult{Dist: out, Report: machine.Report(), P: p, Traffic: machine.Traffic()}, nil
 }
 
+// dcStep is one step of the unrolled Kleene recursion: a local
+// ClassicalFW on diagonal block T (Summa == false), or one SUMMA panel
+// step C[ri, rj] ⊕= A[ri, T] ⊗ B[T, rj] under tag family Family.
+type dcStep struct {
+	Summa              bool
+	T                  int
+	RI0, RI1, RJ0, RJ1 int
+	Family             int
+}
+
+// dcSchedule is the symbolic artifact of the dense solver: the Kleene
+// recursion flattened to a step list, with every tag family
+// preallocated. It depends only on the block count nb — never on
+// weights or ranks — so every rank replays the same schedule and the
+// communication pattern is identical to the fused recursion.
+type dcSchedule struct {
+	nb    int
+	steps []dcStep
+}
+
+// buildDCSchedule unrolls the recursion apsp(0, nb), assigning tag
+// families in the order the fused solver's per-rank tagSeq counter
+// advanced (which was deterministic and identical on every rank —
+// that invariant now lives in one place instead of p).
+func buildDCSchedule(nb int) *dcSchedule {
+	sch := &dcSchedule{nb: nb}
+	family := 0
+	summa := func(ri0, ri1, rk0, rk1, rj0, rj1 int) {
+		for t := rk0; t < rk1; t++ {
+			family++
+			sch.steps = append(sch.steps, dcStep{
+				Summa: true, T: t,
+				RI0: ri0, RI1: ri1, RJ0: rj0, RJ1: rj1,
+				Family: family,
+			})
+		}
+	}
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo == 1 {
+			sch.steps = append(sch.steps, dcStep{T: lo})
+			return
+		}
+		mid := lo + (hi-lo)/2
+		rec(lo, mid)
+		summa(lo, mid, lo, mid, mid, hi) // A12 ⊕= A11 ⊗ A12
+		summa(mid, hi, lo, mid, lo, mid) // A21 ⊕= A21 ⊗ A11
+		summa(mid, hi, lo, mid, mid, hi) // A22 ⊕= A21 ⊗ A12
+		rec(mid, hi)
+		summa(mid, hi, mid, hi, lo, mid) // A21 ⊕= A22 ⊗ A21
+		summa(lo, mid, mid, hi, mid, hi) // A12 ⊕= A12 ⊗ A22
+		summa(lo, mid, mid, hi, lo, mid) // A11 ⊕= A12 ⊗ A21
+	}
+	rec(0, nb)
+	return sch
+}
+
 type dcWorker struct {
 	ctx      *comm.Ctx
 	grid     comm.Grid
@@ -133,94 +195,77 @@ type dcWorker struct {
 	dim      func(int) int
 	local    map[[2]int]*semiring.Matrix
 	myI, myJ int
-	tagSeq   int             // advanced identically on every rank: the recursion is deterministic
 	kern     semiring.Kernel // min-plus kernel for local block arithmetic
-}
-
-// nextTag hands out a fresh tag family for one SUMMA panel phase; x
-// disambiguates concurrent broadcasts within the family.
-func (w *dcWorker) nextTag() int {
-	w.tagSeq++
-	return w.tagSeq
 }
 
 func (w *dcWorker) tag(family, x int) int { return family*4096 + x }
 
-// apsp closes blocks [lo, hi) of the cyclic matrix.
-func (w *dcWorker) apsp(lo, hi int) {
-	if hi-lo == 1 {
-		if blk, mine := w.local[[2]int{lo, lo}]; mine {
-			w.ctx.AddFlops(w.kern.ClassicalFW(blk))
+// run replays the schedule: the numeric phase of the dense solver.
+func (w *dcWorker) run(sch *dcSchedule) {
+	for _, st := range sch.steps {
+		if !st.Summa {
+			if blk, mine := w.local[[2]int{st.T, st.T}]; mine {
+				w.ctx.AddFlops(w.kern.ClassicalFW(blk))
+			}
+			continue
 		}
-		return
+		w.summaStep(st)
 	}
-	mid := lo + (hi-lo)/2
-	w.apsp(lo, mid)
-	w.summa(lo, mid, lo, mid, mid, hi) // A12 ⊕= A11 ⊗ A12
-	w.summa(mid, hi, lo, mid, lo, mid) // A21 ⊕= A21 ⊗ A11
-	w.summa(mid, hi, lo, mid, mid, hi) // A22 ⊕= A21 ⊗ A12
-	w.apsp(mid, hi)
-	w.summa(mid, hi, mid, hi, lo, mid) // A21 ⊕= A22 ⊗ A21
-	w.summa(lo, mid, mid, hi, mid, hi) // A12 ⊕= A12 ⊗ A22
-	w.summa(lo, mid, mid, hi, lo, mid) // A11 ⊕= A12 ⊗ A21
 }
 
-// summa folds C[ri, rj] ⊕= A[ri, rk] ⊗ B[rk, rj] where A, B, C are
-// index ranges of the same cyclic matrix (the Kleene steps alias ranges
-// deliberately; idempotence of closed operands makes in-place folding
-// exact). ri = [ri0, ri1) etc.
-func (w *dcWorker) summa(ri0, ri1, rk0, rk1, rj0, rj1 int) {
-	for t := rk0; t < rk1; t++ {
-		family := w.nextTag()
-		rowPanels := make(map[int][]float64)
-		colPanels := make(map[int][]float64)
-		// Broadcast A(bi, t) along grid row bi%s, for every block row.
-		for bi := ri0; bi < ri1; bi++ {
-			if bi%w.s != w.myI {
-				continue
-			}
-			root := w.grid.Rank(bi%w.s, t%w.s)
-			var payload []float64
-			if root == w.ctx.Rank() {
-				payload = append([]float64(nil), w.local[[2]int{bi, t}].V...)
-			}
-			data := w.ctx.Bcast(w.grid.RowRanks(w.myI), root, w.tag(2*family, bi), payload)
-			rowPanels[bi] = data
-			w.ctx.AddMemory(int64(len(data)))
+// summaStep folds C[ri, rj] ⊕= A[ri, t] ⊗ B[t, rj] for one panel index
+// t (the Kleene steps alias ranges deliberately; idempotence of closed
+// operands makes in-place folding exact).
+func (w *dcWorker) summaStep(st dcStep) {
+	t := st.T
+	rowPanels := make(map[int][]float64)
+	colPanels := make(map[int][]float64)
+	// Broadcast A(bi, t) along grid row bi%s, for every block row.
+	for bi := st.RI0; bi < st.RI1; bi++ {
+		if bi%w.s != w.myI {
+			continue
 		}
-		// Broadcast B(t, bj) down grid column bj%s.
-		for bj := rj0; bj < rj1; bj++ {
+		root := w.grid.Rank(bi%w.s, t%w.s)
+		var payload []float64
+		if root == w.ctx.Rank() {
+			payload = append([]float64(nil), w.local[[2]int{bi, t}].V...)
+		}
+		data := w.ctx.Bcast(w.grid.RowRanks(w.myI), root, w.tag(2*st.Family, bi), payload)
+		rowPanels[bi] = data
+		w.ctx.AddMemory(int64(len(data)))
+	}
+	// Broadcast B(t, bj) down grid column bj%s.
+	for bj := st.RJ0; bj < st.RJ1; bj++ {
+		if bj%w.s != w.myJ {
+			continue
+		}
+		root := w.grid.Rank(t%w.s, bj%w.s)
+		var payload []float64
+		if root == w.ctx.Rank() {
+			payload = append([]float64(nil), w.local[[2]int{t, bj}].V...)
+		}
+		data := w.ctx.Bcast(w.grid.ColRanks(w.myJ), root, w.tag(2*st.Family+1, bj), payload)
+		colPanels[bj] = data
+		w.ctx.AddMemory(int64(len(data)))
+	}
+	// Local multiply-accumulate into owned C blocks.
+	for bi := st.RI0; bi < st.RI1; bi++ {
+		if bi%w.s != w.myI {
+			continue
+		}
+		a := semiring.FromSlice(w.dim(bi), w.dim(t), rowPanels[bi])
+		for bj := st.RJ0; bj < st.RJ1; bj++ {
 			if bj%w.s != w.myJ {
 				continue
 			}
-			root := w.grid.Rank(t%w.s, bj%w.s)
-			var payload []float64
-			if root == w.ctx.Rank() {
-				payload = append([]float64(nil), w.local[[2]int{t, bj}].V...)
-			}
-			data := w.ctx.Bcast(w.grid.ColRanks(w.myJ), root, w.tag(2*family+1, bj), payload)
-			colPanels[bj] = data
-			w.ctx.AddMemory(int64(len(data)))
+			bm := semiring.FromSlice(w.dim(t), w.dim(bj), colPanels[bj])
+			w.ctx.AddFlops(w.kern.MulAddInto(w.local[[2]int{bi, bj}], a, bm))
 		}
-		// Local multiply-accumulate into owned C blocks.
-		for bi := ri0; bi < ri1; bi++ {
-			if bi%w.s != w.myI {
-				continue
-			}
-			a := semiring.FromSlice(w.dim(bi), w.dim(t), rowPanels[bi])
-			for bj := rj0; bj < rj1; bj++ {
-				if bj%w.s != w.myJ {
-					continue
-				}
-				bm := semiring.FromSlice(w.dim(t), w.dim(bj), colPanels[bj])
-				w.ctx.AddFlops(w.kern.MulAddInto(w.local[[2]int{bi, bj}], a, bm))
-			}
-		}
-		for _, d := range rowPanels {
-			w.ctx.AddMemory(-int64(len(d)))
-		}
-		for _, d := range colPanels {
-			w.ctx.AddMemory(-int64(len(d)))
-		}
+	}
+	for _, d := range rowPanels {
+		w.ctx.AddMemory(-int64(len(d)))
+	}
+	for _, d := range colPanels {
+		w.ctx.AddMemory(-int64(len(d)))
 	}
 }

@@ -1,0 +1,293 @@
+package apsp
+
+import (
+	"fmt"
+
+	"sparseapsp/internal/comm"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// The numeric half of 2D-SPARSE-APSP: replay a Plan against actual
+// edge weights on the simulated machine. The executor makes no
+// symbolic decisions — every group, root, tag, skip and unit
+// assignment was frozen into the Plan — so each rank simply walks its
+// precomputed step list, entering the collectives it belongs to in the
+// order the fused solver would have entered them. That replay is
+// bit-identical to the pre-split solver in both distances and charged
+// costs (the golden cost test pins all of latency, bandwidth, flops,
+// message/word totals and peak memory per graph family × wire format ×
+// R4 strategy).
+
+// LayoutFor wraps g in a Layout that reuses the plan's cached symbolic
+// state. This is the warm serving path: the only per-solve work is the
+// O(n + m) permutation of the weights — no nested dissection, no
+// eTree, no fill mask.
+func (pl *Plan) LayoutFor(g *graph.Graph) *Layout {
+	return &Layout{
+		G:    g,
+		PG:   g.Permute(pl.ND.Perm),
+		ND:   pl.ND,
+		Tree: pl.Tree,
+		Fill: pl.Fill,
+	}
+}
+
+// Execute runs the plan against ly's weights and returns the assembled
+// distances plus the machine's cost report. ly must carry the
+// structure the plan was built from (same ordering, tree and mask);
+// LayoutFor produces such a layout for any graph sharing the plan's
+// StructureFingerprint. Safe to call concurrently on one Plan.
+func (pl *Plan) Execute(ly *Layout, kern semiring.Kernel) (*DistResult, error) {
+	if ly.Tree.H != pl.H || ly.ND.N != pl.NSup {
+		return nil, fmt.Errorf("apsp: layout (h=%d, N=%d) does not match plan (h=%d, N=%d)",
+			ly.Tree.H, ly.ND.N, pl.H, pl.NSup)
+	}
+	blocks := ly.Blocks()
+	machine := comm.NewMachine(pl.P)
+	err := machine.Run(func(ctx *comm.Ctx) {
+		e := &planExec{
+			ctx:     ctx,
+			pl:      pl,
+			sizes:   pl.ND.Sizes,
+			kern:    kern,
+			steps:   pl.ranks[ctx.Rank()],
+			scratch: semiring.NewArena(pl.ScratchWords(ctx.Rank())),
+		}
+		myI := ctx.Rank()/pl.NSup + 1
+		myJ := ctx.Rank()%pl.NSup + 1
+		e.A = blocks[myI][myJ]
+		e.run()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("apsp: sparse solver failed: %w", err)
+	}
+	phases, err := machine.PhaseCosts()
+	if err != nil {
+		return nil, fmt.Errorf("apsp: phase accounting failed: %w", err)
+	}
+	return &DistResult{
+		Dist:    ly.AssembleOriginal(blocks),
+		Report:  machine.Report(),
+		Layout:  ly,
+		P:       pl.P,
+		Phases:  phases,
+		Traffic: machine.Traffic(),
+	}, nil
+}
+
+// planExec is one rank's executor state: the owned block, the rank's
+// step lists, and a scratch arena sized from the plan so the R2 panel
+// updates allocate no per-level temporaries.
+type planExec struct {
+	ctx     *comm.Ctx
+	pl      *Plan
+	sizes   []int
+	kern    semiring.Kernel
+	steps   []rankLevel
+	A       *semiring.Matrix
+	scratch *semiring.Arena
+}
+
+// pack encodes a block body for the wire exactly as the fused solver
+// did: the packed encoding in WirePacked mode (the machine charges
+// bandwidth per payload word, so the packed length IS the charged
+// cost), a plain copy in WireDense mode. Always copies — collective
+// receivers share the payload's backing array, and the executor's
+// scratch arena must never back a payload for the same reason.
+func (e *planExec) pack(m *semiring.Matrix) []float64 {
+	if e.pl.Wire == WireDense {
+		return append([]float64(nil), m.V...)
+	}
+	return semiring.PackMatrix(m)
+}
+
+// unpack decodes a received payload into a rows×cols block. The result
+// may share the payload's backing array and must be treated as
+// read-only.
+func (e *planExec) unpack(data []float64, rows, cols int) *semiring.Matrix {
+	if e.pl.Wire == WireDense {
+		return semiring.FromSlice(rows, cols, data)
+	}
+	return semiring.UnpackMatrix(data, rows, cols)
+}
+
+func (e *planExec) run() {
+	e.ctx.SetMemory(int64(len(e.A.V)))
+	for li := range e.pl.Levels {
+		e.level(&e.pl.Levels[li], &e.steps[li])
+		e.ctx.Mark(fmt.Sprintf("level-%d", li+1))
+	}
+}
+
+func (e *planExec) level(lv *planLevel, st *rankLevel) {
+	rank := e.ctx.Rank()
+
+	// ---- R_l^1: diagonal update, local. ----
+	if st.Diag {
+		e.ctx.AddFlops(e.kern.ClassicalFW(e.A))
+	}
+
+	// ---- R_l^2: pivot broadcasts and panel updates. ----
+	for _, x := range st.R2 {
+		op := &lv.R2[x]
+		var payload []float64
+		if rank == op.Root {
+			payload = e.pack(e.A) // copy: receivers share the buffer
+		}
+		data := e.ctx.Bcast(op.Group, op.Root, op.Tag, payload)
+		if !contains(op.Consumers, rank) {
+			continue
+		}
+		dk := e.unpack(data, e.sizes[op.BI], e.sizes[op.BJ])
+		e.ctx.AddMemory(int64(len(dk.V)))
+		if op.Kind == opR2Left {
+			e.ctx.AddFlops(e.kern.PanelUpdateLeftScratch(e.A, dk, e.scratch))
+		} else {
+			e.ctx.AddFlops(e.kern.PanelUpdateRightScratch(e.A, dk, e.scratch))
+		}
+		e.ctx.AddMemory(-int64(len(dk.V)))
+	}
+
+	// ---- R_l^3: panel broadcasts and the one-unit update. ----
+	var rowPanel, colPanel *semiring.Matrix
+	for _, x := range st.R3 {
+		op := &lv.R3[x]
+		var payload []float64
+		if rank == op.Root {
+			payload = e.pack(e.A)
+		}
+		data := e.ctx.Bcast(op.Group, op.Root, op.Tag, payload)
+		if !contains(op.Consumers, rank) {
+			continue
+		}
+		m := e.unpack(data, e.sizes[op.BI], e.sizes[op.BJ])
+		e.ctx.AddMemory(int64(len(m.V)))
+		if op.Kind == opR3Row {
+			rowPanel = m
+		} else {
+			colPanel = m
+		}
+	}
+	if rowPanel != nil && colPanel != nil {
+		e.ctx.AddFlops(e.kern.MulAddInto(e.A, rowPanel, colPanel))
+	}
+	if rowPanel != nil {
+		e.ctx.AddMemory(-int64(len(rowPanel.V)))
+	}
+	if colPanel != nil {
+		e.ctx.AddMemory(-int64(len(colPanel.V)))
+	}
+
+	// ---- R_l^4, mapped strategy: panel broadcasts to the unit
+	// processors, unit products, binomial reduces. ----
+	var unit, unitAik, unitAkj *semiring.Matrix
+	for _, x := range st.R4Col {
+		op := &lv.R4Col[x]
+		var payload []float64
+		if rank == op.Root {
+			payload = e.pack(e.A)
+		}
+		data := e.ctx.Bcast(op.Group, op.Root, op.Tag, payload)
+		if contains(op.Consumers, rank) {
+			unitAik = e.unpack(data, e.sizes[op.BI], e.sizes[op.BJ])
+			e.ctx.AddMemory(int64(len(unitAik.V)))
+		}
+	}
+	for _, x := range st.R4Row {
+		op := &lv.R4Row[x]
+		var payload []float64
+		if rank == op.Root {
+			payload = e.pack(e.A)
+		}
+		data := e.ctx.Bcast(op.Group, op.Root, op.Tag, payload)
+		if contains(op.Consumers, rank) {
+			unitAkj = e.unpack(data, e.sizes[op.BI], e.sizes[op.BJ])
+			e.ctx.AddMemory(int64(len(unitAkj.V)))
+		}
+	}
+	if st.Unit >= 0 {
+		// The plan guarantees both operand broadcasts above were planned
+		// with this rank as a consumer, so the operands are present.
+		u := lv.R4Units[st.Unit]
+		unit = semiring.NewMatrix(e.sizes[u.I], e.sizes[u.J])
+		e.ctx.AddMemory(int64(len(unit.V)))
+		e.ctx.AddFlops(e.kern.MulAddInto(unit, unitAik, unitAkj))
+	}
+	for _, x := range st.Reduce {
+		op := &lv.R4Reduce[x]
+		var data []float64
+		if contains(op.Group, rank) {
+			data = unit.V
+		}
+		res := e.ctx.ReduceTo(op.Group, op.Root, op.Tag, data, semiring.MinInto)
+		if rank == op.Root {
+			semiring.MinInto(e.A.V, res)
+			e.ctx.AddFlops(int64(len(res)))
+		}
+	}
+	if unit != nil {
+		e.ctx.AddMemory(-int64(len(unit.V)))
+	}
+	if unitAik != nil {
+		e.ctx.AddMemory(-int64(len(unitAik.V)))
+	}
+	if unitAkj != nil {
+		e.ctx.AddMemory(-int64(len(unitAkj.V)))
+	}
+
+	// ---- R_l^4, sequential ablation: panel owners send, the block
+	// owner folds locally. ----
+	for _, x := range st.Seq {
+		op := &lv.R4Seq[x]
+		if rank == op.AikOwner && op.Owner != op.AikOwner {
+			e.ctx.Send(op.Owner, op.TagA, e.pack(e.A))
+		}
+		if rank == op.AkjOwner && op.Owner != op.AkjOwner {
+			e.ctx.Send(op.Owner, op.TagB, e.pack(e.A))
+		}
+		if rank == op.Owner {
+			var aik, akj *semiring.Matrix
+			var transient int64
+			if op.Owner == op.AikOwner {
+				aik = e.A
+			} else {
+				data := e.ctx.Recv(op.AikOwner, op.TagA)
+				aik = e.unpack(data, e.sizes[op.BI], e.sizes[op.K])
+				transient += int64(len(aik.V))
+			}
+			if op.Owner == op.AkjOwner {
+				akj = e.A
+			} else {
+				data := e.ctx.Recv(op.AkjOwner, op.TagB)
+				akj = e.unpack(data, e.sizes[op.K], e.sizes[op.BJ])
+				transient += int64(len(akj.V))
+			}
+			e.ctx.AddMemory(transient)
+			e.ctx.AddFlops(e.kern.MulAddInto(e.A, aik, akj))
+			e.ctx.AddMemory(-transient)
+		}
+	}
+
+	// ---- Transpose sends (Algorithm 1 line 25). ----
+	for _, x := range st.Trans {
+		op := &lv.Trans[x]
+		if rank == op.Src {
+			e.ctx.Send(op.Dst, op.Tag, e.pack(e.A))
+		}
+		if rank == op.Dst {
+			data := e.ctx.Recv(op.Src, op.Tag)
+			src := e.unpack(data, e.sizes[op.BI], e.sizes[op.BJ])
+			e.A.CopyFrom(src.Transpose())
+		}
+	}
+}
+
+func contains(list []int, x int) bool {
+	for _, v := range list {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -79,13 +79,16 @@ func TestDistributedSolversKernelInvariant(t *testing.T) {
 }
 
 // TestSparseAPSPMatchesClassicalFWAllKernels is the end-to-end property
-// test of the kernel and wire layers together: for random graphs from
-// several families and EVERY kernel (including KernelSparse), the
-// distributed sparse solver's distances are bit-identical to the
-// sequential ClassicalFW reference. Weights are small random integers:
-// integer sums are exact in float64, so the distributed elimination and
-// the sequential sweep fold path sums to identical bits even though
-// they associate them differently.
+// test of the plan/execute, kernel and wire layers together: for random
+// graphs from several families, EVERY kernel (including KernelSparse)
+// and BOTH wire formats, the distributed sparse solver's distances are
+// bit-identical to the sequential ClassicalFW reference — and within a
+// wire format, the charged cost report is identical across kernels and
+// across cold (plan built this solve) vs warm (plan fetched from a
+// cache) execution. Weights are small random integers: integer sums are
+// exact in float64, so the distributed elimination and the sequential
+// sweep fold path sums to identical bits even though they associate
+// them differently.
 func TestSparseAPSPMatchesClassicalFWAllKernels(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	graphs := []struct {
@@ -101,13 +104,34 @@ func TestSparseAPSPMatchesClassicalFWAllKernels(t *testing.T) {
 	}
 	for _, tc := range graphs {
 		want := classicalReference(tc.g)
-		for _, kern := range semiring.Kernels() {
-			res, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 11, Kernel: kern})
-			if err != nil {
-				t.Fatalf("%s/%v: %v", tc.name, kern, err)
+		for _, wire := range []WireFormat{WirePacked, WireDense} {
+			cache := NewPlanCache()
+			var base *DistResult
+			for _, kern := range semiring.Kernels() {
+				res, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 11, Kernel: kern, Wire: wire})
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", tc.name, wire, kern, err)
+				}
+				if !identicalMatrices(res.Dist, want) {
+					t.Errorf("%s/%v/%v: distances differ from ClassicalFW", tc.name, wire, kern)
+				}
+				if base == nil {
+					base = res
+				} else if !reflect.DeepEqual(res.Report, base.Report) {
+					t.Errorf("%s/%v/%v: cost report differs across kernels", tc.name, wire, kern)
+				}
+				// The cached-plan path must be indistinguishable from the
+				// build-per-solve path (first iteration builds, rest hit).
+				warm, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 11, Kernel: kern, Wire: wire, Plans: cache})
+				if err != nil {
+					t.Fatalf("%s/%v/%v (cached): %v", tc.name, wire, kern, err)
+				}
+				if !identicalMatrices(warm.Dist, want) || !reflect.DeepEqual(warm.Report, base.Report) {
+					t.Errorf("%s/%v/%v: plan-cached solve differs from direct solve", tc.name, wire, kern)
+				}
 			}
-			if !identicalMatrices(res.Dist, want) {
-				t.Errorf("%s/%v: distances differ from ClassicalFW", tc.name, kern)
+			if s := cache.Stats(); s.Builds != 1 || s.Hits != int64(len(semiring.Kernels())-1) {
+				t.Errorf("%s/%v: plan cache stats %+v, want 1 build / %d hits", tc.name, wire, s, len(semiring.Kernels())-1)
 			}
 		}
 	}

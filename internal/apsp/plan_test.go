@@ -1,0 +1,315 @@
+package apsp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// goldenCase is one (graph family, machine size) pair of the frozen
+// pre-refactor cost table. Each family builds its graph from its own
+// independently seeded RNG, so adding or reordering cases cannot
+// silently change another case's graph.
+type goldenCase struct {
+	name string
+	g    *graph.Graph
+	p    int
+}
+
+func goldenCases() []goldenCase {
+	mk := func(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+	return []goldenCase{
+		{"grid", graph.Grid2D(9, 9, integerWeights(mk(101), 10)), 9},
+		{"grid49", graph.Grid2D(13, 13, integerWeights(mk(102), 10)), 49},
+		{"gnp", graph.RandomGNP(70, 0.08, integerWeights(mk(103), 5), mk(203)), 9},
+		{"tree", graph.RandomTree(90, graph.UnitWeights, mk(104)), 49},
+		{"rmat", graph.RMAT(6, 3, integerWeights(mk(105), 4), mk(205)), 9},
+		{"star", graph.Star(60, graph.UnitWeights), 9},
+	}
+}
+
+// distHash is the first 16 hex chars of a sha256 over the raw Float64
+// bit patterns of the distance matrix — a bit-exactness fingerprint.
+func distHash(m *semiring.Matrix) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range m.V {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+type goldenRow struct {
+	CritLatency   int64
+	CritBandwidth int64
+	CritFlops     int64
+	TotalMessages int64
+	TotalWords    int64
+	MaxMemory     int64
+	DistHash      string
+}
+
+type goldenKey struct {
+	Family string
+	Mode   string // wire format, or "dc" for the dense comparator
+	R4     R4Strategy
+}
+
+// goldenTable was captured from the fused (pre-Plan/Execute) solver at
+// the commit introducing the split. The refactor's hard invariant is
+// that these numbers never move: distances bit-identical AND every
+// charged cost — critical latency/bandwidth/flops, message and word
+// totals, peak memory — unchanged. "dc" rows pin DCAPSP (p=4, cyclic
+// factor 2) across its schedule split.
+var goldenTable = map[goldenKey]goldenRow{
+	{"grid", "packed", 0}:   {12, 5293, 70776, 26, 10914, 2304, "a2e3a57550113739"},
+	{"grid", "packed", 1}:   {15, 6512, 73368, 24, 10752, 2223, "a2e3a57550113739"},
+	{"grid", "dense", 0}:    {12, 5283, 70776, 26, 10890, 2304, "a2e3a57550113739"},
+	{"grid", "dense", 1}:    {15, 6498, 73368, 24, 10728, 2223, "a2e3a57550113739"},
+	{"grid", "dc", 0}:       {44, 18405, 159030, 72, 29520, 2646, "a2e3a57550113739"},
+	{"grid49", "packed", 0}: {28, 13104, 118922, 222, 73693, 2856, "96e4aca675b3c7af"},
+	{"grid49", "packed", 1}: {35, 15806, 115783, 210, 72657, 2856, "96e4aca675b3c7af"},
+	{"grid49", "dense", 0}:  {28, 13079, 118922, 222, 74598, 2856, "96e4aca675b3c7af"},
+	{"grid49", "dense", 1}:  {35, 16407, 115783, 210, 73560, 2856, "96e4aca675b3c7af"},
+	{"grid49", "dc", 0}:     {44, 79301, 1343787, 72, 128520, 11094, "96e4aca675b3c7af"},
+	{"gnp", "packed", 0}:    {12, 9814, 169281, 26, 15016, 3844, "60e3ad3fef80fe66"},
+	{"gnp", "packed", 1}:    {15, 10394, 171903, 24, 13958, 3315, "60e3ad3fef80fe66"},
+	{"gnp", "dense", 0}:     {12, 9804, 169281, 26, 14992, 3844, "60e3ad3fef80fe66"},
+	{"gnp", "dense", 1}:     {15, 10379, 171903, 24, 13934, 3315, "60e3ad3fef80fe66"},
+	{"gnp", "dc", 0}:        {44, 13684, 114922, 72, 22048, 1944, "60e3ad3fef80fe66"},
+	{"tree", "packed", 0}:   {28, 2875, 13361, 204, 8652, 1764, "17b38d5f4c544f0b"},
+	{"tree", "packed", 1}:   {33, 2806, 13317, 194, 8660, 1763, "17b38d5f4c544f0b"},
+	{"tree", "dense", 0}:    {28, 7211, 13361, 222, 13602, 1764, "17b38d5f4c544f0b"},
+	{"tree", "dense", 1}:    {35, 7143, 13317, 210, 13630, 1763, "17b38d5f4c544f0b"},
+	{"tree", "dc", 0}:       {44, 22544, 240856, 72, 36448, 3174, "17b38d5f4c544f0b"},
+	{"rmat", "packed", 0}:   {12, 5081, 73596, 26, 8486, 2116, "83accd07a3c61b64"},
+	{"rmat", "packed", 1}:   {15, 5602, 74198, 24, 8094, 1920, "83accd07a3c61b64"},
+	{"rmat", "dense", 0}:    {12, 5072, 73596, 26, 9472, 2116, "83accd07a3c61b64"},
+	{"rmat", "dense", 1}:    {15, 6136, 74198, 24, 9080, 1920, "83accd07a3c61b64"},
+	{"rmat", "dc", 0}:       {44, 11264, 92192, 72, 18432, 1536, "83accd07a3c61b64"},
+	{"star", "packed", 0}:   {12, 338, 4410, 26, 742, 1520, "978ac9a795cb7eba"},
+	{"star", "packed", 1}:   {15, 419, 4430, 24, 740, 1520, "978ac9a795cb7eba"},
+	{"star", "dense", 0}:    {12, 3064, 4410, 26, 4248, 1520, "978ac9a795cb7eba"},
+	{"star", "dense", 1}:    {15, 3142, 4430, 24, 4246, 1520, "978ac9a795cb7eba"},
+	{"star", "dc", 0}:       {44, 9900, 77850, 72, 16200, 1350, "978ac9a795cb7eba"},
+}
+
+func checkGolden(t *testing.T, key goldenKey, res *DistResult) {
+	t.Helper()
+	want, ok := goldenTable[key]
+	if !ok {
+		t.Fatalf("%v: no golden row", key)
+	}
+	got := goldenRow{
+		CritLatency:   res.Report.Critical.Latency,
+		CritBandwidth: res.Report.Critical.Bandwidth,
+		CritFlops:     res.Report.Critical.Flops,
+		TotalMessages: res.Report.TotalMessages,
+		TotalWords:    res.Report.TotalWords,
+		MaxMemory:     res.Report.MaxMemory,
+		DistHash:      distHash(res.Dist),
+	}
+	if got != want {
+		t.Errorf("%v: cost/dist drifted from the pre-refactor golden values:\n got %+v\nwant %+v", key, got, want)
+	}
+}
+
+// TestSparseCostGolden pins the planned executor to the fused solver
+// it replaced: identical distances (to the bit) and identical charged
+// costs for five graph families × both wire formats × both R4
+// strategies — plus the DCAPSP schedule split.
+func TestSparseCostGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		for _, wire := range []WireFormat{WirePacked, WireDense} {
+			for _, r4 := range []R4Strategy{R4Mapped, R4Sequential} {
+				res, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 11, Wire: wire, R4Strategy: r4})
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", tc.name, wire, r4, err)
+				}
+				checkGolden(t, goldenKey{tc.name, wire.String(), r4}, res)
+			}
+		}
+		res, err := DCAPSP(tc.g, 4, 2)
+		if err != nil {
+			t.Fatalf("%s/dc: %v", tc.name, err)
+		}
+		checkGolden(t, goldenKey{tc.name, "dc", 0}, res)
+	}
+}
+
+// TestPlanDeterministicAcrossRanks derives the Plan independently q
+// times — as q ranks of a real machine each would — and asserts all
+// hashes agree, across graph families, machine sizes and wire formats.
+// A single diverging group order would deadlock (or silently mis-cost)
+// a real distributed run, so plan construction must be a pure function
+// of the shared symbolic inputs.
+func TestPlanDeterministicAcrossRanks(t *testing.T) {
+	for _, tc := range goldenCases() {
+		for _, wire := range []WireFormat{WirePacked, WireDense} {
+			var want string
+			for rank := 0; rank < tc.p; rank++ {
+				// Each "rank" recomputes the full symbolic phase from
+				// scratch, sharing nothing but the inputs.
+				h, err := HeightForP(tc.p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ly, err := NewLayout(tc.g, h, 11)
+				if err != nil {
+					t.Fatalf("%s rank %d: %v", tc.name, rank, err)
+				}
+				pl, err := BuildPlan(ly, tc.p, wire, R4Mapped)
+				if err != nil {
+					t.Fatalf("%s rank %d: %v", tc.name, rank, err)
+				}
+				if rank == 0 {
+					want = pl.Hash()
+					continue
+				}
+				if got := pl.Hash(); got != want {
+					t.Fatalf("%s/%v: rank %d derived plan %s, rank 0 derived %s", tc.name, wire, rank, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheWarmSolveSkipsSymbolicWork asserts the serving-path
+// contract: the second solve of a structure hits the plan cache
+// (performing no ND/eTree/fill-mask work — builds stays at 1) and
+// returns byte-identical distances and cost reports; a solve on the
+// same structure with DIFFERENT weights still hits, because the
+// fingerprint is weights-independent.
+func TestPlanCacheWarmSolveSkipsSymbolicWork(t *testing.T) {
+	weights := func(seed int64) graph.WeightFn {
+		rng := rand.New(rand.NewSource(seed))
+		return func(u, v int) float64 { return float64(rng.Intn(9) + 1) }
+	}
+	g1 := graph.Grid2D(9, 9, weights(1))
+	g2 := graph.Grid2D(9, 9, weights(2)) // same structure, new weights
+
+	cache := NewPlanCache()
+	opts := SparseOptions{Seed: 11, Plans: cache}
+
+	cold, err := SparseAPSPWith(g1, 9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Builds != 1 || s.Hits != 0 || s.Entries != 1 {
+		t.Fatalf("after cold solve: %+v, want 1 build / 0 hits / 1 entry", s)
+	}
+
+	warm, err := SparseAPSPWith(g1, 9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Builds != 1 || s.Hits != 1 {
+		t.Fatalf("after warm solve: %+v, want 1 build / 1 hit (zero symbolic work)", s)
+	}
+	if !identicalMatrices(cold.Dist, warm.Dist) {
+		t.Fatal("warm solve distances differ from cold solve")
+	}
+	if !reflect.DeepEqual(cold.Report, warm.Report) {
+		t.Fatalf("warm solve report differs from cold:\n cold %+v\n warm %+v", cold.Report, warm.Report)
+	}
+
+	res2, err := SparseAPSPWith(g2, 9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Builds != 1 || s.Hits != 2 {
+		t.Fatalf("after same-structure new-weights solve: %+v, want 1 build / 2 hits", s)
+	}
+	if !identicalMatrices(res2.Dist, classicalReference(g2)) {
+		t.Fatal("plan-reused solve on new weights is wrong")
+	}
+
+	// A different structure must NOT hit.
+	g3 := graph.Grid2D(13, 7, weights(3))
+	if _, err := SparseAPSPWith(g3, 9, opts); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Builds != 2 || s.Hits != 2 || s.Entries != 2 {
+		t.Fatalf("after different-structure solve: %+v, want 2 builds / 2 hits / 2 entries", s)
+	}
+
+	// Different plan-shaping options are distinct cache keys even on
+	// one structure: a dense-wire plan must never serve a packed solve.
+	if _, err := SparseAPSPWith(g1, 9, SparseOptions{Seed: 11, Plans: cache, Wire: WireDense}); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Builds != 3 || s.Hits != 2 {
+		t.Fatalf("after dense-wire solve: %+v, want a fresh build (3), no new hit", s)
+	}
+}
+
+// TestStructureFingerprintIgnoresWeights pins the key property the
+// serving path relies on: fingerprints see structure, seeds and plan
+// options — never weights.
+func TestStructureFingerprintIgnoresWeights(t *testing.T) {
+	w := func(seed int64) graph.WeightFn {
+		rng := rand.New(rand.NewSource(seed))
+		return func(u, v int) float64 { return float64(rng.Intn(50) + 1) }
+	}
+	g1 := graph.Grid2D(5, 5, w(1))
+	g2 := graph.Grid2D(5, 5, w(99))
+	if StructureFingerprintOf(g1, 9, 7, WirePacked, R4Mapped) != StructureFingerprintOf(g2, 9, 7, WirePacked, R4Mapped) {
+		t.Fatal("same structure, different weights: fingerprints differ")
+	}
+	base := StructureFingerprintOf(g1, 9, 7, WirePacked, R4Mapped)
+	if StructureFingerprintOf(g1, 49, 7, WirePacked, R4Mapped) == base {
+		t.Fatal("different p, same fingerprint")
+	}
+	if StructureFingerprintOf(g1, 9, 8, WirePacked, R4Mapped) == base {
+		t.Fatal("different ND seed, same fingerprint")
+	}
+	if StructureFingerprintOf(g1, 9, 7, WireDense, R4Mapped) == base {
+		t.Fatal("different wire format, same fingerprint")
+	}
+	if StructureFingerprintOf(g1, 9, 7, WirePacked, R4Sequential) == base {
+		t.Fatal("different R4 strategy, same fingerprint")
+	}
+	if StructureFingerprintOf(graph.Grid2D(5, 6, w(1)), 9, 7, WirePacked, R4Mapped) == base {
+		t.Fatal("different structure, same fingerprint")
+	}
+}
+
+// TestPlanExecuteMatchesDirectSolve closes the loop between the two
+// entry points: a plan built once and executed via LayoutFor must
+// reproduce the plain SparseAPSPWith result exactly, for every kernel.
+func TestPlanExecuteMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomGNP(40, 0.15, integerWeights(rng, 6), rng)
+	direct, err := SparseAPSPWith(g, 9, SparseOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ly, err := NewLayout(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := BuildPlan(ly, 9, WirePacked, R4Mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kern := range semiring.Kernels() {
+		res, err := pl.Execute(pl.LayoutFor(g), kern)
+		if err != nil {
+			t.Fatalf("kernel %v: %v", kern, err)
+		}
+		if !identicalMatrices(res.Dist, direct.Dist) {
+			t.Fatalf("kernel %v: planned execute distances differ from direct solve", kern)
+		}
+		if !reflect.DeepEqual(res.Report, direct.Report) {
+			t.Fatalf("kernel %v: planned execute report differs from direct solve", kern)
+		}
+	}
+}

@@ -2,9 +2,9 @@ package apsp
 
 import (
 	"fmt"
+	"time"
 
 	"sparseapsp/internal/comm"
-	"sparseapsp/internal/etree"
 	"sparseapsp/internal/graph"
 	"sparseapsp/internal/semiring"
 )
@@ -38,6 +38,9 @@ type DistResult struct {
 //	       parallel unit computation, binomial reduce to the owning
 //	       block, and the symmetric transpose send (Algorithm 1 line 25).
 //
+// The solve is split into a symbolic phase (BuildPlan: ordering, eTree,
+// fill mask, and the complete op schedule above) and a numeric phase
+// (Plan.Execute: the min-plus block updates against actual weights).
 // Every rank follows the same deterministic global schedule, entering
 // only the collectives it belongs to, so the communication pattern —
 // and therefore the measured critical-path cost — is exactly the
@@ -117,548 +120,64 @@ type SparseOptions struct {
 	// Wire selects the payload encoding (and with it the mask-based
 	// skipping); see WireFormat.
 	Wire WireFormat
+	// Plans, when non-nil, caches the symbolic Plan under the graph's
+	// StructureFingerprint: a solve whose structure was seen before
+	// reuses the cached ordering, eTree, fill mask and op schedule and
+	// performs no symbolic work at all (only the O(n + m) weight
+	// permutation). Ignored when Layout is supplied — a caller-provided
+	// ordering is not necessarily reproducible from the graph alone.
+	Plans *PlanCache
 }
 
-// SparseAPSPWith is SparseAPSP with explicit options.
+// SparseAPSPWith is SparseAPSP with explicit options. It is a thin
+// wrapper over the Plan/Execute split: build (or fetch from
+// opts.Plans) the symbolic plan, then execute it against g's weights.
 func SparseAPSPWith(g *graph.Graph, p int, opts SparseOptions) (*DistResult, error) {
 	h, err := HeightForP(p)
 	if err != nil {
 		return nil, err
 	}
-	ly := opts.Layout
-	if ly == nil {
-		ly, err = NewLayout(g, h, opts.Seed)
+	if ly := opts.Layout; ly != nil {
+		if ly.Tree.H != h {
+			return nil, fmt.Errorf("apsp: supplied layout has tree height %d, machine p=%d needs %d", ly.Tree.H, p, h)
+		}
+		pl, err := BuildPlan(ly, p, opts.Wire, opts.R4Strategy)
 		if err != nil {
 			return nil, err
 		}
-	} else if ly.Tree.H != h {
-		return nil, fmt.Errorf("apsp: supplied layout has tree height %d, machine p=%d needs %d", ly.Tree.H, p, h)
+		return pl.Execute(ly, opts.Kernel)
 	}
-	blocks := ly.Blocks()
-	tr := ly.Tree
-	grid := comm.Grid{Rows: tr.N, Cols: tr.N}
-	machine := comm.NewMachine(p)
-	err = machine.Run(func(ctx *comm.Ctx) {
-		w := &sparseWorker{
-			ctx:   ctx,
-			grid:  grid,
-			tr:    tr,
-			sizes: ly.ND.Sizes,
-			mask:  ly.Fill,
-			wire:  opts.Wire,
-			r4seq: opts.R4Strategy == R4Sequential,
-			kern:  opts.Kernel,
+	if opts.Plans != nil {
+		fp := StructureFingerprintOf(g, p, opts.Seed, opts.Wire, opts.R4Strategy)
+		if pl, ok := opts.Plans.lookup(fp); ok {
+			return pl.Execute(pl.LayoutFor(g), opts.Kernel)
 		}
-		w.myI = ctx.Rank()/tr.N + 1
-		w.myJ = ctx.Rank()%tr.N + 1
-		w.A = blocks[w.myI][w.myJ]
-		w.run()
-	})
+		start := time.Now()
+		ly, pl, err := buildSymbolic(g, p, h, opts)
+		if err != nil {
+			return nil, err
+		}
+		opts.Plans.store(fp, pl, time.Since(start).Nanoseconds())
+		return pl.Execute(ly, opts.Kernel)
+	}
+	ly, pl, err := buildSymbolic(g, p, h, opts)
 	if err != nil {
-		return nil, fmt.Errorf("apsp: sparse solver failed: %w", err)
+		return nil, err
 	}
-	phases, err := machine.PhaseCosts()
+	return pl.Execute(ly, opts.Kernel)
+}
+
+// buildSymbolic runs the full symbolic phase from scratch: nested
+// dissection, eTree, fill mask (NewLayout), then the op schedule
+// (BuildPlan).
+func buildSymbolic(g *graph.Graph, p, h int, opts SparseOptions) (*Layout, *Plan, error) {
+	ly, err := NewLayout(g, h, opts.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("apsp: phase accounting failed: %w", err)
+		return nil, nil, err
 	}
-	return &DistResult{
-		Dist:    ly.AssembleOriginal(blocks),
-		Report:  machine.Report(),
-		Layout:  ly,
-		P:       p,
-		Phases:  phases,
-		Traffic: machine.Traffic(),
-	}, nil
-}
-
-// Tag phases; tags encode (level, phase, x, y) with x, y < 256, which
-// bounds supported machines at h ≤ 8 (p ≤ 65025) — far beyond what a
-// single-process simulation can hold anyway.
-const (
-	phR2Col = iota + 1
-	phR2Row
-	phR3Row
-	phR3Col
-	phR4ColPanel
-	phR4RowPanel
-	phR4Reduce
-	phR4Transpose
-	phR4SeqA
-	phR4SeqB
-)
-
-type sparseWorker struct {
-	ctx      *comm.Ctx
-	grid     comm.Grid
-	tr       *etree.Tree
-	sizes    []int
-	mask     *FillMask // symbolic fill mask (consulted in WirePacked mode)
-	wire     WireFormat
-	A        *semiring.Matrix
-	myI, myJ int             // 1-based supernode labels of the owned block
-	r4seq    bool            // use the Section 5.2.2 "trivial strategy" for R_l^4
-	kern     semiring.Kernel // min-plus kernel for local block arithmetic
-}
-
-func (w *sparseWorker) tag(l, phase, x, y int) int {
-	return ((l*16+phase)*256+x)*256 + y
-}
-
-// rank converts 1-based supernode labels to a machine rank.
-func (w *sparseWorker) rank(i, j int) int { return w.grid.Rank(i-1, j-1) }
-
-// active reports whether pivot supernode k has any vertices; empty
-// pivots are skipped entirely (their updates are vacuous).
-func (w *sparseWorker) active(k int) bool { return w.sizes[k] > 0 }
-
-// mayFill reports whether block (i, j) can hold a finite entry at the
-// start of level l. In WireDense mode it is always true (nothing is
-// skipped); in WirePacked mode a false answer lets every rank skip the
-// broadcast of (i, j) and the products it feeds, consistently, because
-// the mask is part of the globally shared Layout. The transpose sends
-// query l+1: they mirror the state a completed level leaves behind.
-func (w *sparseWorker) mayFill(l, i, j int) bool {
-	if w.wire == WireDense {
-		return true
+	pl, err := BuildPlan(ly, p, opts.Wire, opts.R4Strategy)
+	if err != nil {
+		return nil, nil, err
 	}
-	return w.mask.At(l, i, j)
-}
-
-// pack encodes a block body for the wire: the packed encoding in
-// WirePacked mode (the simulated machine charges bandwidth per payload
-// word, so the packed length IS the charged cost), a plain copy in
-// WireDense mode. Always copies, because collective receivers share
-// the payload's backing array.
-func (w *sparseWorker) pack(m *semiring.Matrix) []float64 {
-	if w.wire == WireDense {
-		return append([]float64(nil), m.V...)
-	}
-	return semiring.PackMatrix(m)
-}
-
-// unpack decodes a received payload into a rows×cols block. Like the
-// raw dense path, the result may share the payload's backing array and
-// must be treated as read-only.
-func (w *sparseWorker) unpack(data []float64, rows, cols int) *semiring.Matrix {
-	if w.wire == WireDense {
-		return semiring.FromSlice(rows, cols, data)
-	}
-	return semiring.UnpackMatrix(data, rows, cols)
-}
-
-func (w *sparseWorker) run() {
-	w.ctx.SetMemory(int64(len(w.A.V)))
-	for l := 1; l <= w.tr.H; l++ {
-		w.level(l)
-		w.ctx.Mark(fmt.Sprintf("level-%d", l))
-	}
-}
-
-func (w *sparseWorker) level(l int) {
-	tr := w.tr
-
-	// ---- R_l^1: diagonal updates (Algorithm 1 line 4), local. ----
-	if w.myI == w.myJ && tr.Level(w.myI) == l {
-		w.ctx.AddFlops(w.kern.ClassicalFW(w.A))
-	}
-
-	// ---- R_l^2: pivot broadcasts and panel updates (lines 5-8). ----
-	for _, k := range tr.LevelNodes(l) {
-		if !w.active(k) {
-			continue
-		}
-		related := tr.RelatedSet(k)
-		// Column broadcast: P_kk -> P_ik for i related to k. The pivot
-		// diagonal is never empty (it holds distance 0), so the
-		// collective always runs, but a panel the mask proves all-Inf
-		// skips its (vacuous) update.
-		if w.myJ == k && contains(related, w.myI) {
-			group := make([]int, len(related))
-			for x, i := range related {
-				group[x] = w.rank(i, k)
-			}
-			var payload []float64
-			if w.myI == k {
-				payload = w.pack(w.A) // copy: receivers share the buffer
-			}
-			data := w.ctx.Bcast(group, w.rank(k, k), w.tag(l, phR2Col, k, 0), payload)
-			if w.myI != k && w.mayFill(l, w.myI, k) {
-				dk := w.unpack(data, w.sizes[k], w.sizes[k])
-				w.ctx.AddMemory(int64(len(dk.V)))
-				w.ctx.AddFlops(w.kern.PanelUpdateLeft(w.A, dk))
-				w.ctx.AddMemory(-int64(len(dk.V)))
-			}
-		}
-		// Row broadcast: P_kk -> P_kj for j related to k.
-		if w.myI == k && contains(related, w.myJ) {
-			group := make([]int, len(related))
-			for x, j := range related {
-				group[x] = w.rank(k, j)
-			}
-			var payload []float64
-			if w.myJ == k {
-				payload = w.pack(w.A)
-			}
-			data := w.ctx.Bcast(group, w.rank(k, k), w.tag(l, phR2Row, k, 0), payload)
-			if w.myJ != k && w.mayFill(l, k, w.myJ) {
-				dk := w.unpack(data, w.sizes[k], w.sizes[k])
-				w.ctx.AddMemory(int64(len(dk.V)))
-				w.ctx.AddFlops(w.kern.PanelUpdateRight(w.A, dk))
-				w.ctx.AddMemory(-int64(len(dk.V)))
-			}
-		}
-	}
-
-	// ---- R_l^3: panel broadcasts and one-unit updates (lines 9-11). ----
-	// Row broadcasts of A(i,k) along row i, column broadcasts of A(k,j)
-	// along column j, over the processors of the related set.
-	var rowPanel, colPanel *semiring.Matrix
-	for _, k := range tr.LevelNodes(l) {
-		if !w.active(k) {
-			continue
-		}
-		related := tr.RelatedSet(k)
-		iAmRelatedRow := w.myI != k && contains(related, w.myI)
-		iAmRelatedCol := w.myJ != k && contains(related, w.myJ)
-		// Row broadcast for my row (root P(myI, k)). Skipped outright —
-		// by every rank of the row, consistently — when the mask proves
-		// A(myI, k) all-Inf: its product contributes nothing.
-		if iAmRelatedRow && contains(related, w.myJ) && w.mayFill(l, w.myI, k) {
-			group := make([]int, len(related))
-			for x, j := range related {
-				group[x] = w.rank(w.myI, j)
-			}
-			var payload []float64
-			if w.myJ == k {
-				payload = w.pack(w.A)
-			}
-			data := w.ctx.Bcast(group, w.rank(w.myI, k), w.tag(l, phR3Row, k, w.myI), payload)
-			if w.region3Pivot(l) == k {
-				rowPanel = w.unpack(data, w.sizes[w.myI], w.sizes[k])
-				w.ctx.AddMemory(int64(len(rowPanel.V)))
-			}
-		}
-		// Column broadcast for my column (root P(k, myJ)).
-		if iAmRelatedCol && contains(related, w.myI) && w.mayFill(l, k, w.myJ) {
-			group := make([]int, len(related))
-			for x, i := range related {
-				group[x] = w.rank(i, w.myJ)
-			}
-			var payload []float64
-			if w.myI == k {
-				payload = w.pack(w.A)
-			}
-			data := w.ctx.Bcast(group, w.rank(k, w.myJ), w.tag(l, phR3Col, k, w.myJ), payload)
-			if w.region3Pivot(l) == k {
-				colPanel = w.unpack(data, w.sizes[k], w.sizes[w.myJ])
-				w.ctx.AddMemory(int64(len(colPanel.V)))
-			}
-		}
-	}
-	if rowPanel != nil && colPanel != nil {
-		w.ctx.AddFlops(w.kern.MulAddInto(w.A, rowPanel, colPanel))
-	}
-	if rowPanel != nil {
-		w.ctx.AddMemory(-int64(len(rowPanel.V)))
-	}
-	if colPanel != nil {
-		w.ctx.AddMemory(-int64(len(colPanel.V)))
-	}
-
-	// ---- R_l^4 (lines 13-26). ----
-	if w.r4seq {
-		w.regionFourSequential(l)
-	} else {
-		w.regionFour(l)
-	}
-}
-
-// regionFourSequential is the Section 5.2.2 "trivial strategy"
-// ablation: for every block (i,j) ∈ R_l^4 the owner P_ij receives both
-// panels of each of its q units directly from the panel owners and
-// accumulates the min-plus products locally — 2q serialized receives
-// instead of the O(log q) of the mapped strategy. Results are
-// identical; only the communication schedule (and hence the measured
-// latency) differs.
-func (w *sparseWorker) regionFourSequential(l int) {
-	tr := w.tr
-	if l >= tr.H {
-		return
-	}
-	for _, b := range tr.R4Lower(l) {
-		pivots := tr.UnitsFor(l, b.I, b.J)
-		for _, k := range pivots {
-			if !w.active(k) {
-				continue
-			}
-			// Both panel owners and the block owner agree, from the
-			// shared mask, that a provably all-Inf product moves nothing.
-			if !w.mayFill(l, b.I, k) || !w.mayFill(l, k, b.J) {
-				continue
-			}
-			aikOwner := w.rank(b.I, k)
-			akjOwner := w.rank(k, b.J)
-			owner := w.rank(b.I, b.J)
-			// Panel owners send; the block owner receives and folds.
-			if w.ctx.Rank() == aikOwner && owner != aikOwner {
-				w.ctx.Send(owner, w.tag(l, phR4SeqA, k, b.J), w.pack(w.A))
-			}
-			if w.ctx.Rank() == akjOwner && owner != akjOwner {
-				w.ctx.Send(owner, w.tag(l, phR4SeqB, k, b.I), w.pack(w.A))
-			}
-			if w.ctx.Rank() == owner {
-				var aik, akj *semiring.Matrix
-				var transient int64
-				if owner == aikOwner {
-					aik = w.A
-				} else {
-					data := w.ctx.Recv(aikOwner, w.tag(l, phR4SeqA, k, b.J))
-					aik = w.unpack(data, w.sizes[b.I], w.sizes[k])
-					transient += int64(len(aik.V))
-				}
-				if owner == akjOwner {
-					akj = w.A
-				} else {
-					data := w.ctx.Recv(akjOwner, w.tag(l, phR4SeqB, k, b.I))
-					akj = w.unpack(data, w.sizes[k], w.sizes[b.J])
-					transient += int64(len(akj.V))
-				}
-				w.ctx.AddMemory(transient)
-				w.ctx.AddFlops(w.kern.MulAddInto(w.A, aik, akj))
-				w.ctx.AddMemory(-transient)
-			}
-		}
-	}
-	// Transpose sends, exactly as in the mapped strategy.
-	for _, b := range tr.R4Lower(l) {
-		if b.I == b.J || w.sizes[b.I] == 0 || w.sizes[b.J] == 0 {
-			continue
-		}
-		if !w.anyActiveUnit(l, b.I) || !w.mayFill(l+1, b.I, b.J) {
-			continue
-		}
-		if w.myI == b.I && w.myJ == b.J {
-			w.ctx.Send(w.rank(b.J, b.I), w.tag(l, phR4Transpose, b.I, b.J), w.pack(w.A))
-		}
-		if w.myI == b.J && w.myJ == b.I {
-			data := w.ctx.Recv(w.rank(b.I, b.J), w.tag(l, phR4Transpose, b.I, b.J))
-			src := w.unpack(data, w.sizes[b.I], w.sizes[b.J])
-			w.A.CopyFrom(src.Transpose())
-		}
-	}
-}
-
-// region3Pivot returns the unique active pivot k ∈ Q_l for which the
-// owned block lies in R_l^3, or 0 if none.
-func (w *sparseWorker) region3Pivot(l int) int {
-	tr := w.tr
-	if tr.RegionOf(l, w.myI, w.myJ) != 3 {
-		return 0
-	}
-	lower := w.myI
-	if tr.Level(w.myJ) < tr.Level(lower) {
-		lower = w.myJ
-	}
-	k := tr.AncestorAtLevel(lower, l)
-	if !w.active(k) {
-		return 0
-	}
-	return k
-}
-
-// regionFour runs the R_l^4 schedule: panel broadcasts to unit
-// processors, unit computation, reduction to the owning blocks, and
-// the symmetric transpose sends.
-func (w *sparseWorker) regionFour(l int) {
-	tr := w.tr
-	if l >= tr.H {
-		return // the root level has no ancestors, hence no R_l^4
-	}
-
-	// My unit, if I am a unit processor this level: column G determines
-	// the pivot k, row F determines the (a, c) ancestor pair.
-	unitI, unitK, unitJ := 0, 0, 0
-	if w.myJ <= tr.LevelSize(l) {
-		k := tr.LevelOffset(l) + w.myJ
-		if w.active(k) {
-			for a := l + 1; a <= tr.H; a++ {
-				for c := a; c <= tr.H; c++ {
-					if tr.Row(l, a, c) == w.myI {
-						unitI = tr.AncestorAtLevel(k, a)
-						unitK = k
-						unitJ = tr.AncestorAtLevel(k, c)
-					}
-				}
-			}
-		}
-	}
-
-	// Column-panel broadcasts (line 14): P(i,k) -> each P_{f,g} needing
-	// A(i,k), i.e. rows f(a,c) for c ∈ {a..h}.
-	var unitAik, unitAkj *semiring.Matrix
-	for _, k := range tr.LevelNodes(l) {
-		if !w.active(k) {
-			continue
-		}
-		for a := l + 1; a <= tr.H; a++ {
-			i := tr.AncestorAtLevel(k, a)
-			if !w.mayFill(l, i, k) {
-				continue // provably empty panel: no rank enters the broadcast
-			}
-			root := w.rank(i, k)
-			group := []int{root}
-			mine := false
-			for _, u := range tr.R4BroadcastTargetsColPanel(l, i, k) {
-				r := w.grid.Rank(u.F-1, u.G-1)
-				if r != root {
-					group = append(group, r)
-				}
-				if r == w.ctx.Rank() {
-					mine = true
-				}
-			}
-			if w.ctx.Rank() != root && !mine {
-				continue
-			}
-			var payload []float64
-			if w.ctx.Rank() == root {
-				payload = w.pack(w.A)
-			}
-			data := w.ctx.Bcast(group, root, w.tag(l, phR4ColPanel, k, a), payload)
-			if mine && unitK == k && unitI == i {
-				unitAik = w.unpack(data, w.sizes[i], w.sizes[k])
-				w.ctx.AddMemory(int64(len(unitAik.V)))
-			}
-		}
-	}
-
-	// Row-panel broadcasts (line 17): P(k,j) -> rows f(a,c) for a ∈ {l+1..c}.
-	for _, k := range tr.LevelNodes(l) {
-		if !w.active(k) {
-			continue
-		}
-		for c := l + 1; c <= tr.H; c++ {
-			j := tr.AncestorAtLevel(k, c)
-			if !w.mayFill(l, k, j) {
-				continue
-			}
-			root := w.rank(k, j)
-			group := []int{root}
-			mine := false
-			for _, u := range tr.R4BroadcastTargetsRowPanel(l, k, j) {
-				r := w.grid.Rank(u.F-1, u.G-1)
-				if r != root {
-					group = append(group, r)
-				}
-				if r == w.ctx.Rank() {
-					mine = true
-				}
-			}
-			if w.ctx.Rank() != root && !mine {
-				continue
-			}
-			var payload []float64
-			if w.ctx.Rank() == root {
-				payload = w.pack(w.A)
-			}
-			data := w.ctx.Bcast(group, root, w.tag(l, phR4RowPanel, k, c), payload)
-			if mine && unitK == k && unitJ == j {
-				unitAkj = w.unpack(data, w.sizes[k], w.sizes[j])
-				w.ctx.AddMemory(int64(len(unitAkj.V)))
-			}
-		}
-	}
-
-	// Unit computation (line 21): U = A(i,k) ⊗ A(k,j), one unit per
-	// processor by Corollary 5.5.
-	var unit *semiring.Matrix
-	if unitAik != nil && unitAkj != nil {
-		unit = semiring.NewMatrix(w.sizes[unitI], w.sizes[unitJ])
-		w.ctx.AddMemory(int64(len(unit.V)))
-		w.ctx.AddFlops(w.kern.MulAddInto(unit, unitAik, unitAkj))
-	}
-
-	// Reductions (line 23): the units of block (i,j) live on one
-	// processor row in contiguous columns; reduce them to P_ij.
-	for _, b := range tr.R4Lower(l) {
-		row, cols := tr.UnitProcessorsFor(l, b.I, b.J)
-		pivots := tr.UnitsFor(l, b.I, b.J)
-		var group []int
-		for x, g := range cols {
-			// A unit joins the reduce only if both its panels can be
-			// finite — otherwise its product is provably all-Inf and its
-			// panel broadcasts were skipped above (so it holds no unit).
-			if w.active(pivots[x]) &&
-				w.mayFill(l, b.I, pivots[x]) && w.mayFill(l, pivots[x], b.J) {
-				group = append(group, w.grid.Rank(row-1, g-1))
-			}
-		}
-		if len(group) == 0 {
-			continue
-		}
-		root := w.rank(b.I, b.J)
-		member := contains(group, w.ctx.Rank())
-		if !member && w.ctx.Rank() != root {
-			continue
-		}
-		var data []float64
-		if member {
-			data = unit.V
-		}
-		res := w.ctx.ReduceTo(group, root, w.tag(l, phR4Reduce, b.I, b.J), data, semiring.MinInto)
-		if w.ctx.Rank() == root {
-			semiring.MinInto(w.A.V, res)
-			w.ctx.AddFlops(int64(len(res)))
-		}
-	}
-	if unit != nil {
-		w.ctx.AddMemory(-int64(len(unit.V)))
-	}
-	if unitAik != nil {
-		w.ctx.AddMemory(-int64(len(unitAik.V)))
-	}
-	if unitAkj != nil {
-		w.ctx.AddMemory(-int64(len(unitAkj.V)))
-	}
-
-	// Transpose sends (line 25): the level(i) > level(j) half of R_l^4
-	// is the mirror of the computed half. A block the mask proves still
-	// all-Inf after this level has an equally empty mirror (the mask is
-	// symmetric), so both sides skip the exchange.
-	for _, b := range tr.R4Lower(l) {
-		if b.I == b.J || w.sizes[b.I] == 0 || w.sizes[b.J] == 0 {
-			continue
-		}
-		if !w.anyActiveUnit(l, b.I) || !w.mayFill(l+1, b.I, b.J) {
-			continue
-		}
-		if w.myI == b.I && w.myJ == b.J {
-			w.ctx.Send(w.rank(b.J, b.I), w.tag(l, phR4Transpose, b.I, b.J), w.pack(w.A))
-		}
-		if w.myI == b.J && w.myJ == b.I {
-			data := w.ctx.Recv(w.rank(b.I, b.J), w.tag(l, phR4Transpose, b.I, b.J))
-			src := w.unpack(data, w.sizes[b.I], w.sizes[b.J])
-			w.A.CopyFrom(src.Transpose())
-		}
-	}
-}
-
-// anyActiveUnit reports whether block (i, ·) has at least one active
-// pivot at level l (i.e. it was actually updated and needs mirroring).
-func (w *sparseWorker) anyActiveUnit(l, i int) bool {
-	for _, k := range w.tr.DescendantsAtLevel(i, l) {
-		if w.active(k) {
-			return true
-		}
-	}
-	return false
-}
-
-func contains(list []int, x int) bool {
-	for _, v := range list {
-		if v == x {
-			return true
-		}
-	}
-	return false
+	return ly, pl, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sparseapsp/internal/apsp"
 	"sparseapsp/internal/graph"
 	"sparseapsp/internal/semiring"
 )
@@ -22,6 +23,13 @@ type Config struct {
 	// Pool is the worker pool batch queries fan out over; nil means
 	// semiring.DefaultPool.
 	Pool *semiring.Pool
+	// Plans, when non-nil, is the sparse solver's symbolic plan cache.
+	// The registry itself never touches it — the Solve closure is
+	// expected to pass the same cache into SparseOptions.Plans — but
+	// registering it here surfaces its counters through Stats (and so
+	// through apspd /statsz). Weight-update workloads re-solving one
+	// topology show up as plan hits with zero new symbolic work.
+	Plans *apsp.PlanCache
 }
 
 // Registry caches solved oracles keyed by graph fingerprint. Concurrent
@@ -193,6 +201,15 @@ type Stats struct {
 	QueriesServed   int64 // point-queries answered across all oracles
 	QueriesInFlight int64 // query calls executing right now
 	QueryNanos      int64 // total wall-clock spent inside query calls
+
+	// Plan-cache counters (all zero when no plan cache is configured).
+	// PlanHits counts solves that reused a cached symbolic plan and so
+	// performed zero ordering/eTree/fill-mask work; PlanBuildNanos is
+	// the total wall-clock the symbolic phase has cost.
+	PlanBuilds     int64
+	PlanHits       int64
+	PlanEntries    int
+	PlanBuildNanos int64
 }
 
 // Stats returns the registry counters at this instant.
@@ -212,5 +229,12 @@ func (r *Registry) Stats() Stats {
 	s.QueriesServed = r.queries.served.Load()
 	s.QueriesInFlight = r.queries.inFlight.Load()
 	s.QueryNanos = r.queries.queryNanos.Load()
+	if r.cfg.Plans != nil {
+		ps := r.cfg.Plans.Stats()
+		s.PlanBuilds = ps.Builds
+		s.PlanHits = ps.Hits
+		s.PlanEntries = ps.Entries
+		s.PlanBuildNanos = ps.BuildNanos
+	}
 	return s
 }

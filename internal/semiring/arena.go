@@ -1,0 +1,29 @@
+package semiring
+
+// Arena is a per-rank scratch buffer for kernel temporaries. The
+// sparse executor sizes one from its Plan (the R2 panel updates need
+// exactly one owned-block-sized temporary), so a numeric execute
+// allocates no per-level scratch. An Arena is single-owner state: it
+// must never back data that escapes the rank — the simulated machine
+// hands payloads to receivers zero-copy, so anything sent on the wire
+// has to stay on the heap.
+type Arena struct {
+	buf []float64
+}
+
+// NewArena returns an arena holding words scratch words.
+func NewArena(words int) *Arena {
+	return &Arena{buf: make([]float64, words)}
+}
+
+// Scratch returns an n-word scratch slice. The contents are
+// unspecified; callers overwrite before reading. A nil arena, or a
+// request beyond the arena's capacity, falls back to a fresh heap
+// allocation so undersized plans degrade to the old per-call behavior
+// instead of failing.
+func (a *Arena) Scratch(n int) []float64 {
+	if a == nil || n > len(a.buf) {
+		return make([]float64, n)
+	}
+	return a.buf[:n]
+}

@@ -88,6 +88,23 @@ func (k Kernel) PanelUpdateRight(p, d *Matrix) int64 {
 	return k.MulAddInto(p, d, tmp)
 }
 
+// PanelUpdateLeftScratch is PanelUpdateLeft with the snapshot of P
+// taken into a's scratch space instead of a fresh allocation. Flops
+// and results are bit-identical to PanelUpdateLeft.
+func (k Kernel) PanelUpdateLeftScratch(p, d *Matrix, a *Arena) int64 {
+	tmp := FromSlice(p.Rows, p.Cols, a.Scratch(len(p.V)))
+	copy(tmp.V, p.V)
+	return k.MulAddInto(p, tmp, d)
+}
+
+// PanelUpdateRightScratch is PanelUpdateRight with an arena-backed
+// snapshot; see PanelUpdateLeftScratch.
+func (k Kernel) PanelUpdateRightScratch(p, d *Matrix, a *Arena) int64 {
+	tmp := FromSlice(p.Rows, p.Cols, a.Scratch(len(p.V)))
+	copy(tmp.V, p.V)
+	return k.MulAddInto(p, d, tmp)
+}
+
 // ClassicalFW runs the Floyd–Warshall update with the selected kernel.
 // The pivot loop is inherently sequential, so KernelTiled and
 // KernelSparse fall back to the serial loop (the pivot row already

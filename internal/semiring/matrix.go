@@ -137,8 +137,17 @@ func (m *Matrix) Density() float64 {
 }
 
 // IsAllInf reports whether every entry is Inf — the "empty block"
-// predicate of Section 4.1 whose computations can be skipped.
-func (m *Matrix) IsAllInf() bool { return m.NNZ() == 0 }
+// predicate of Section 4.1 whose computations can be skipped. It sits
+// on the broadcast skip path, so it short-circuits on the first finite
+// entry instead of counting all of them like NNZ.
+func (m *Matrix) IsAllInf() bool {
+	for _, v := range m.V {
+		if !math.IsInf(v, 1) {
+			return false
+		}
+	}
+	return true
+}
 
 // MinInto folds src into dst element-wise: dst = dst ⊕ src. It is the
 // reduction operator passed to comm collectives.
