@@ -158,6 +158,12 @@ type Options struct {
 	// nothing skipped; the ablation baseline). Distances are
 	// bit-identical either way; only measured costs differ.
 	Wire WireFormat
+	// Executor selects the sparse solver's plan execution engine:
+	// ExecDataflow (default — the lowered dependency graph on a
+	// bounded worker pool) or ExecMachine (the simulated machine, one
+	// goroutine per rank). Distances and cost reports are
+	// bit-identical either way; only host wall-clock differs.
+	Executor Executor
 	// Plans, when non-nil, caches the sparse solver's symbolic plans
 	// (ordering + eTree + fill mask + full op schedule) under a
 	// weights-independent StructureFingerprint: repeated solves on one
@@ -192,6 +198,23 @@ const (
 	// WireDense ships raw dense payloads and skips nothing.
 	WireDense = apsp.WireDense
 )
+
+// Executor selects the sparse solver's plan execution engine; see
+// Options.Executor.
+type Executor = apsp.Executor
+
+const (
+	// ExecDataflow runs frozen plans as a static dependency graph on a
+	// bounded worker pool (the default).
+	ExecDataflow = apsp.ExecDataflow
+	// ExecMachine runs plans on the simulated machine, one goroutine
+	// per rank — the reference executor.
+	ExecMachine = apsp.ExecMachine
+)
+
+// ParseExecutor maps an executor name ("dataflow", "machine"; "" means
+// dataflow) to its Executor value.
+var ParseExecutor = apsp.ParseExecutor
 
 // Result is a Solve outcome.
 type Result struct {
@@ -246,7 +269,7 @@ func Solve(g *Graph, opts Options) (*Result, error) {
 		if _, err := apsp.HeightForP(opts.P); err != nil {
 			return nil, invalidSparsePError(opts.P)
 		}
-		r, err := apsp.SparseAPSPWith(g, opts.P, apsp.SparseOptions{Seed: opts.Seed, Kernel: opts.Kernel, Wire: opts.Wire, Plans: opts.Plans})
+		r, err := apsp.SparseAPSPWith(g, opts.P, apsp.SparseOptions{Seed: opts.Seed, Kernel: opts.Kernel, Wire: opts.Wire, Executor: opts.Executor, Plans: opts.Plans})
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, plan, opcount, perlevel, balance, weak, strong, fig1")
+		exp     = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, plan, exec, opcount, perlevel, balance, weak, strong, fig1")
 		sides   = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
 		ps      = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
 		seed    = flag.Int64("seed", 42, "nested-dissection seed")
@@ -38,6 +40,10 @@ func main() {
 		wire    = flag.String("wire", "packed", "sparse-solver payload encoding: packed (structure-aware, the default) or dense (ablation baseline)")
 		bench   = flag.String("bench-out", "", "write the perf-row benchmark sweep (family, n, p, kernel, wire, ns/op, words, flops) as JSON to this file")
 		force   = flag.Bool("force", false, "allow -bench-out to overwrite an existing file (committed reference runs are protected by default)")
+		exec    = flag.String("executor", "dataflow", "plan executor for every experiment: dataflow (bounded worker pool, the default) or machine (goroutine per rank); costs are identical, wall-clock differs")
+		reps    = flag.Int("exec-reps", 5, "timed repetitions per executor in the exec experiment (best-of)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -49,6 +55,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ex, err := apsp.ParseExecutor(*exec)
+	if err != nil {
+		fatal(err)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	cfg := harness.Config{
 		GridSides:    parseInts(*sides),
@@ -57,6 +93,7 @@ func main() {
 		CyclicFactor: *cyc,
 		Kernel:       kern,
 		Wire:         wf,
+		Executor:     ex,
 	}
 
 	needSuite := map[string]bool{"all": true, "table2-memory": true,
@@ -113,6 +150,9 @@ func main() {
 		case "plan":
 			t, err := harness.PlanReuse(cfg, *xn, *xp)
 			show(name, t, err)
+		case "exec":
+			t, err := harness.ExecutorComparison(cfg, *reps)
+			show(name, t, err)
 		case "opcount":
 			t, err := harness.OperationCounts(cfg)
 			show(name, t, err)
@@ -152,7 +192,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table2-memory", "table2-bandwidth", "table2-latency",
-			"factors", "lower", "sepcost", "crossover", "wire", "plan", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
+			"factors", "lower", "sepcost", "crossover", "wire", "plan", "exec", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
 			run(name)
 		}
 	} else {

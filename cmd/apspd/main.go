@@ -20,6 +20,7 @@
 // Usage:
 //
 //	apspd -addr :8080 -algorithm auto -kernel tiled -budget-mb 512
+//	apspd -addr :8080 -pprof localhost:6060   # live profiling on a side address
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux; served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,10 +49,17 @@ func main() {
 		seed     = flag.Int64("seed", 42, "nested-dissection seed")
 		budgetMB = flag.Int64("budget-mb", 0, "oracle cache memory budget in MiB (0 = unlimited)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		exec     = flag.String("executor", "dataflow", "plan executor for sparse solves: dataflow (worker pool) or machine (goroutine per rank)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 
 	kern, err := semiring.ParseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apspd:", err)
+		os.Exit(1)
+	}
+	ex, err := sparseapsp.ParseExecutor(*exec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "apspd:", err)
 		os.Exit(1)
@@ -60,9 +69,21 @@ func main() {
 		P:         *p,
 		Seed:      *seed,
 		Kernel:    kern,
+		Executor:  ex,
 	}
 	reg := sparseapsp.NewOracleRegistry(opts, *budgetMB<<20)
 	srv := &http.Server{Addr: *addr, Handler: newServer(reg)}
+
+	if *pprofA != "" {
+		// The pprof handlers live on the default mux, which the query
+		// server never serves — profiling stays off the public address.
+		go func() {
+			log.Printf("apspd: pprof endpoints on http://%s/debug/pprof/", *pprofA)
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				log.Printf("apspd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,727 @@
+package apsp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sparseapsp/internal/comm"
+	"sparseapsp/internal/semiring"
+)
+
+// The dataflow executor. A Plan freezes the entire communication
+// schedule — every collective's group order, root and tag — so nothing
+// about an Execute needs discovering at run time: the machine
+// executor's p free-running goroutines, cond-var mailboxes and
+// linear-scan message matching only re-derive, expensively, a partial
+// order that is already known. This file lowers the per-rank step
+// lists into that partial order explicitly — a static dependency graph
+// whose nodes are (rank, op) participations and whose edges are each
+// rank's program order plus one edge per point-to-point message hidden
+// inside the collectives — and runs ready nodes on a bounded worker
+// pool (semiring.Pool, GOMAXPROCS-ish workers) instead of p rank
+// goroutines. Message payloads move by direct buffer handoff through
+// preallocated slots; cost accounting becomes deterministic replay on
+// a comm.Replay ledger, advancing each rank's clock in the rank's plan
+// order as its nodes retire.
+//
+// The result is bit-identical to the machine executor in distances and
+// in every charged cost. The argument (spelled out in DESIGN.md):
+// both executors issue, per rank, the same sequence of charge
+// operations in the same order — program order is enforced by the
+// next-node edge, each receive is wired to the unique (src, tag)
+// message the machine's matching would have picked (tags are unique
+// per plan op and a rank receives at most once per (src, tag) within
+// an op), and ChargeSend/ChargeRecv reproduce Ctx.Send/Ctx.Recv's
+// snapshot-then-charge and merge-then-charge rules verbatim. Clocks
+// are a deterministic fold over those sequences, so they agree by
+// induction over plan order; the numeric kernels see the same operand
+// bytes in the same order, so distances agree bit for bit.
+
+// Node kinds. One dfNode is one rank's participation in one plan op,
+// or a local glue step (init, the R3 combine, the R4 release, a phase
+// mark) that the machine executor ran inline between collectives.
+const (
+	dfInit   uint8 = iota // SetMemory(len(A)) — each rank's first node
+	dfDiag                // R1: ClassicalFW on the owned diagonal block
+	dfR2                  // R2 pivot broadcast + panel update
+	dfR3                  // R3 panel broadcast + capture
+	dfR3Mul               // R3 combine: multiply captured panels, release
+	dfR4Col               // R4 column-panel broadcast + left-operand capture
+	dfR4Row               // R4 row-panel broadcast + right-operand capture
+	dfUnit                // R4 unit product
+	dfReduce              // R4 binomial reduce participation
+	dfR4Done              // R4 release of unit and captured operands
+	dfSeq                 // R4 sequential-ablation exchange
+	dfTrans               // transpose send/receive
+	dfMark                // per-level phase mark
+)
+
+// dfNode is one vertex of the lowered graph. recvs and sends list the
+// node's message slots in charge order — the exact order the machine
+// executor would have charged them on this rank.
+type dfNode struct {
+	rank  int32
+	kind  uint8
+	level int32 // index into Plan.Levels, -1 for dfInit
+	op    int32 // index into the level's phase list (kind-dependent)
+	next  int32 // same-rank successor in program order, -1 if last
+	deps  int32 // initial dependency count: program pred + len(recvs)
+	recvs []int32
+	sends []int32
+}
+
+// dfProgram is the complete lowered graph: immutable once built,
+// shared by every concurrent Execute of the plan.
+type dfProgram struct {
+	nodes       []dfNode
+	msgConsumer []int32  // message slot -> consuming node
+	seeds       []int32  // nodes with deps == 0 (each rank's dfInit)
+	levelNames  []string // "level-1".. precomputed mark ids
+	maxScratch  int      // max ScratchWords over ranks: per-worker arena size
+}
+
+// dataflow returns the plan's lowered graph, built once and cached.
+func (pl *Plan) dataflow() *dfProgram {
+	pl.dfOnce.Do(func() { pl.df = lowerPlan(pl) })
+	return pl.df
+}
+
+// dfOpKey identifies one rank's node for one op during lowering, so
+// the wiring pass can find both endpoints of every message.
+type dfOpKey struct {
+	level int32
+	phase uint8
+	op    int32
+	rank  int32
+}
+
+// lowerPlan builds the dependency graph. Pass 1 emits each rank's
+// nodes in the rank's program order (the machine executor's order in
+// exec.go, exactly); pass 2 wires one message slot per point-to-point
+// send by replaying the binomial-tree arithmetic of comm's Bcast,
+// Reduce and ReduceTo; pass 3 counts dependencies.
+func lowerPlan(pl *Plan) *dfProgram {
+	prog := &dfProgram{}
+	lookup := make(map[dfOpKey]int32)
+	last := make([]int32, pl.P)
+	heads := make([]int32, 0, pl.P)
+	for i := range last {
+		last[i] = -1
+	}
+	emit := func(rank int, kind uint8, level, op int32) int32 {
+		id := int32(len(prog.nodes))
+		prog.nodes = append(prog.nodes, dfNode{rank: int32(rank), kind: kind, level: level, op: op, next: -1})
+		if last[rank] >= 0 {
+			prog.nodes[last[rank]].next = id
+		} else {
+			heads = append(heads, id)
+		}
+		last[rank] = id
+		return id
+	}
+	for li := range pl.Levels {
+		prog.levelNames = append(prog.levelNames, fmt.Sprintf("level-%d", li+1))
+	}
+
+	// Pass 1: per-rank program order, mirroring planExec.run/level.
+	for rank := 0; rank < pl.P; rank++ {
+		if w := pl.ScratchWords(rank); w > prog.maxScratch {
+			prog.maxScratch = w
+		}
+		emit(rank, dfInit, -1, -1)
+		for li := range pl.Levels {
+			lv := &pl.Levels[li]
+			st := &pl.ranks[rank][li]
+			l := int32(li)
+			if st.Diag {
+				emit(rank, dfDiag, l, -1)
+			}
+			for _, x := range st.R2 {
+				lookup[dfOpKey{l, dfR2, x, int32(rank)}] = emit(rank, dfR2, l, x)
+			}
+			captures := false
+			for _, x := range st.R3 {
+				lookup[dfOpKey{l, dfR3, x, int32(rank)}] = emit(rank, dfR3, l, x)
+				captures = captures || contains(lv.R3[x].Consumers, rank)
+			}
+			if captures {
+				emit(rank, dfR3Mul, l, -1)
+			}
+			r4held := false
+			for _, x := range st.R4Col {
+				lookup[dfOpKey{l, dfR4Col, x, int32(rank)}] = emit(rank, dfR4Col, l, x)
+				r4held = r4held || contains(lv.R4Col[x].Consumers, rank)
+			}
+			for _, x := range st.R4Row {
+				lookup[dfOpKey{l, dfR4Row, x, int32(rank)}] = emit(rank, dfR4Row, l, x)
+				r4held = r4held || contains(lv.R4Row[x].Consumers, rank)
+			}
+			if st.Unit >= 0 {
+				emit(rank, dfUnit, l, st.Unit)
+				r4held = true
+			}
+			for _, x := range st.Reduce {
+				lookup[dfOpKey{l, dfReduce, x, int32(rank)}] = emit(rank, dfReduce, l, x)
+			}
+			if r4held {
+				emit(rank, dfR4Done, l, -1)
+			}
+			for _, x := range st.Seq {
+				lookup[dfOpKey{l, dfSeq, x, int32(rank)}] = emit(rank, dfSeq, l, x)
+			}
+			for _, x := range st.Trans {
+				lookup[dfOpKey{l, dfTrans, x, int32(rank)}] = emit(rank, dfTrans, l, x)
+			}
+			emit(rank, dfMark, l, -1)
+		}
+	}
+
+	// Pass 2: message wiring.
+	newMsg := func(consumer int32) int32 {
+		m := int32(len(prog.msgConsumer))
+		prog.msgConsumer = append(prog.msgConsumer, consumer)
+		return m
+	}
+	get := func(level int32, phase uint8, op int32, rank int) int32 {
+		id, ok := lookup[dfOpKey{level, phase, op, int32(rank)}]
+		if !ok {
+			panic(fmt.Sprintf("apsp: dataflow lowering: no node for rank %d in op %d of phase %d, level %d", rank, op, phase, level+1))
+		}
+		return id
+	}
+	link := func(from, to, msg int32) {
+		prog.nodes[from].sends = append(prog.nodes[from].sends, msg)
+		prog.nodes[to].recvs = append(prog.nodes[to].recvs, msg)
+	}
+	// wireBcast replays comm.Ctx.bcast: a non-root member receives once
+	// from the rank differing in its lowest relative-position bit, then
+	// forwards at decreasing bit distances. Iterating every member and
+	// wiring its sends in that decreasing-mask order reproduces the
+	// machine's per-rank send order; each receiver has exactly one recv.
+	wireBcast := func(level int32, phase uint8, ops []BcastOp) {
+		for x := range ops {
+			op := &ops[x]
+			q := len(op.Group)
+			rootPos := 0
+			for i, r := range op.Group {
+				if r == op.Root {
+					rootPos = i
+					break
+				}
+			}
+			for pos, rank := range op.Group {
+				rel := (pos - rootPos + q) % q
+				node := get(level, phase, int32(x), rank)
+				mask := 1
+				for mask < q && rel&mask == 0 {
+					mask <<= 1
+				}
+				for m := mask >> 1; m > 0; m >>= 1 {
+					if rel+m < q {
+						child := get(level, phase, int32(x), op.Group[(rel+m+rootPos)%q])
+						link(node, child, newMsg(child))
+					}
+				}
+			}
+		}
+	}
+	for li := range pl.Levels {
+		lv := &pl.Levels[li]
+		l := int32(li)
+		wireBcast(l, dfR2, lv.R2)
+		wireBcast(l, dfR3, lv.R3)
+		wireBcast(l, dfR4Col, lv.R4Col)
+		wireBcast(l, dfR4Row, lv.R4Row)
+		// Reduce trees, replaying comm.Ctx.ReduceTo: reduce to the root
+		// if it is a member, else to group[0] which forwards one extra
+		// message to the external root. Receives are wired from the
+		// receiver side in increasing-mask order (the machine's charge
+		// order); each non-root member's unique send is the matching
+		// endpoint, appended exactly once.
+		for x := range lv.R4Reduce {
+			op := &lv.R4Reduce[x]
+			q := len(op.Group)
+			rootInGroup := contains(op.Group, op.Root)
+			effRoot := op.Root
+			if !rootInGroup {
+				effRoot = op.Group[0]
+			}
+			rootPos := 0
+			for i, r := range op.Group {
+				if r == effRoot {
+					rootPos = i
+					break
+				}
+			}
+			for pos, rank := range op.Group {
+				rel := (pos - rootPos + q) % q
+				node := get(l, dfReduce, int32(x), rank)
+				for mask := 1; mask < q; mask <<= 1 {
+					if rel&mask != 0 {
+						break // this member's send is wired by its parent
+					}
+					if srcRel := rel | mask; srcRel < q {
+						src := get(l, dfReduce, int32(x), op.Group[(srcRel+rootPos)%q])
+						link(src, node, newMsg(node))
+					}
+				}
+			}
+			if !rootInGroup {
+				rootNode := get(l, dfReduce, int32(x), op.Root)
+				g0 := get(l, dfReduce, int32(x), op.Group[0])
+				link(g0, rootNode, newMsg(rootNode))
+			}
+		}
+		for x := range lv.R4Seq {
+			op := &lv.R4Seq[x]
+			owner := get(l, dfSeq, int32(x), op.Owner)
+			if op.AikOwner != op.Owner {
+				a := get(l, dfSeq, int32(x), op.AikOwner)
+				link(a, owner, newMsg(owner)) // aik first: the owner receives TagA before TagB
+			}
+			if op.AkjOwner != op.Owner {
+				b := get(l, dfSeq, int32(x), op.AkjOwner)
+				link(b, owner, newMsg(owner))
+			}
+		}
+		for x := range lv.Trans {
+			op := &lv.Trans[x]
+			src := get(l, dfTrans, int32(x), op.Src)
+			dst := get(l, dfTrans, int32(x), op.Dst)
+			link(src, dst, newMsg(dst))
+		}
+	}
+
+	// Pass 3: dependency counts and seeds.
+	for id := range prog.nodes {
+		prog.nodes[id].deps = int32(len(prog.nodes[id].recvs)) + 1
+	}
+	for _, id := range heads {
+		prog.nodes[id].deps--
+	}
+	for id := range prog.nodes {
+		if prog.nodes[id].deps == 0 {
+			prog.seeds = append(prog.seeds, int32(id))
+		}
+	}
+	return prog
+}
+
+// dfSlot carries one message: the payload (zero-copy handoff, exactly
+// like the machine's mailboxes) and the sender's pre-send clock
+// snapshot for the receiver's max-merge.
+type dfSlot struct {
+	data  []float64
+	clock comm.Cost
+}
+
+const dfStop = int32(-1) // ready-queue sentinel: worker shutdown
+
+// dfRankState is one rank's mutable numeric state during a run: the
+// owned block plus the captured panels/operands that planExec held in
+// level-scoped locals. The combine/release nodes clear them, so state
+// never leaks across levels. Only the rank's own nodes touch it, and
+// those are serialized by the program-order edge.
+type dfRankState struct {
+	A                      *semiring.Matrix
+	rowPanel, colPanel     *semiring.Matrix
+	unit, unitAik, unitAkj *semiring.Matrix
+}
+
+// dfRun is the per-Execute runtime state of the dataflow executor.
+type dfRun struct {
+	pl      *Plan
+	prog    *dfProgram
+	kern    semiring.Kernel
+	sizes   []int
+	led     *comm.Replay
+	ranks   []dfRankState
+	slots   []dfSlot
+	pending []int32 // per-node remaining deps, decremented atomically
+	ready   chan int32
+	workers int
+	retired atomic.Int32
+	live    atomic.Int32 // nodes enqueued but not yet retired
+	done    atomic.Bool
+	err     error // written once by the shutdown winner, read after join
+
+	// Serial mode (workers == 1, e.g. GOMAXPROCS=1): one goroutine
+	// executes everything, so the ready channel, sentinels and atomic
+	// counters are pure overhead — a plain stack replaces them.
+	serial bool
+	queue  []int32
+}
+
+// executeDataflow is the dataflow counterpart of executeMachine.
+func (pl *Plan) executeDataflow(ly *Layout, kern semiring.Kernel) (*DistResult, error) {
+	prog := pl.dataflow()
+	blocks, release := ly.BlocksPooled()
+	pool := semiring.DefaultPool
+	workers := pool.Size()
+	if workers > pl.P {
+		workers = pl.P
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	x := &dfRun{
+		pl:      pl,
+		prog:    prog,
+		kern:    kern,
+		sizes:   pl.ND.Sizes,
+		led:     comm.NewReplay(pl.P),
+		ranks:   make([]dfRankState, pl.P),
+		slots:   make([]dfSlot, len(prog.msgConsumer)),
+		pending: make([]int32, len(prog.nodes)),
+		workers: workers,
+		serial:  workers == 1,
+	}
+	for r := 0; r < pl.P; r++ {
+		x.ranks[r].A = blocks[r/pl.NSup+1][r%pl.NSup+1]
+	}
+	for id := range prog.nodes {
+		x.pending[id] = prog.nodes[id].deps
+	}
+	if x.serial {
+		x.queue = append(make([]int32, 0, 64), prog.seeds...)
+		x.runSerial(semiring.NewArena(prog.maxScratch))
+	} else {
+		// Capacity for every node plus every sentinel: enqueues never block.
+		x.ready = make(chan int32, len(prog.nodes)+workers)
+		for _, id := range prog.seeds {
+			x.live.Add(1)
+			x.ready <- id
+		}
+		// One scratch arena per worker, reused across every op the
+		// worker executes — w arenas total instead of the machine
+		// path's p.
+		arenas := make([]*semiring.Arena, workers)
+		for i := range arenas {
+			arenas[i] = semiring.NewArena(prog.maxScratch)
+		}
+		pool.Drive(workers, func(i int) { x.drain(arenas[i]) })
+	}
+	if x.err != nil {
+		return nil, fmt.Errorf("apsp: sparse solver failed: %w", x.err)
+	}
+	phases, err := x.led.PhaseCosts()
+	if err != nil {
+		return nil, fmt.Errorf("apsp: phase accounting failed: %w", err)
+	}
+	dist := ly.AssembleOriginal(blocks)
+	release()
+	return &DistResult{
+		Dist:    dist,
+		Report:  x.led.Report(),
+		Layout:  ly,
+		P:       pl.P,
+		Phases:  phases,
+		Traffic: x.led.Traffic(),
+	}, nil
+}
+
+// runSerial is the single-worker loop: pop, execute, repeat. The
+// dependency counts make the queue a topological traversal, so an
+// empty queue before every node ran is the same lowering-cycle
+// condition the concurrent path's live counter detects.
+func (x *dfRun) runSerial(a *semiring.Arena) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			x.err = fmt.Errorf("dataflow op panicked: %v", rec)
+		}
+	}()
+	done := 0
+	for len(x.queue) > 0 {
+		id := x.queue[len(x.queue)-1]
+		x.queue = x.queue[:len(x.queue)-1]
+		x.exec(id, a)
+		done++
+	}
+	if done < len(x.prog.nodes) {
+		x.err = fmt.Errorf("dataflow executor stalled after %d of %d ops (dependency cycle in lowering)", done, len(x.prog.nodes))
+	}
+}
+
+// drain executes ready nodes until a shutdown sentinel arrives.
+func (x *dfRun) drain(a *semiring.Arena) {
+	for {
+		id := <-x.ready
+		if id < 0 {
+			return
+		}
+		x.execNode(id, a)
+	}
+}
+
+func (x *dfRun) execNode(id int32, a *semiring.Arena) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			n := &x.prog.nodes[id]
+			x.shutdown(fmt.Errorf("dataflow op %d (rank %d, kind %d) panicked: %v", id, n.rank, n.kind, rec))
+		}
+	}()
+	x.exec(id, a)
+	x.retire()
+}
+
+// complete records one satisfied dependency of node; the last one
+// enqueues it. The atomic decrement orders every prior write of the
+// dependency's producer (slot payloads, rank state) before the node's
+// execution.
+func (x *dfRun) complete(node int32) {
+	if x.serial {
+		x.pending[node]--
+		if x.pending[node] == 0 {
+			x.queue = append(x.queue, node)
+		}
+		return
+	}
+	if atomic.AddInt32(&x.pending[node], -1) == 0 {
+		x.live.Add(1)
+		x.ready <- node
+	}
+}
+
+// retire finishes a node. Termination and stall detection are exact,
+// with no timers: live counts nodes enqueued but not retired, and
+// enqueues only happen from inside executing (hence unretired, hence
+// live-counted) nodes, so live reaching zero before every node retired
+// proves nothing can ever run again — a lowering bug, reported instead
+// of hanging. The machine executor needs a sampling watchdog for the
+// same job because its ranks block in ways it cannot count.
+func (x *dfRun) retire() {
+	r := x.retired.Add(1)
+	if x.live.Add(-1) == 0 && int(r) < len(x.prog.nodes) {
+		x.shutdown(fmt.Errorf("dataflow executor stalled after %d of %d ops (dependency cycle in lowering)", r, len(x.prog.nodes)))
+		return
+	}
+	if int(r) == len(x.prog.nodes) {
+		x.shutdown(nil)
+	}
+}
+
+// shutdown ends the run once: records the error (if any) and wakes
+// every worker with a sentinel.
+func (x *dfRun) shutdown(err error) {
+	if !x.done.CompareAndSwap(false, true) {
+		return
+	}
+	x.err = err
+	for i := 0; i < x.workers; i++ {
+		x.ready <- dfStop
+	}
+}
+
+// recvMsg charges the i-th receive of n in program order and returns
+// the payload (shared backing array, read-only — as with the machine's
+// zero-copy delivery).
+func (x *dfRun) recvMsg(n *dfNode, i int) []float64 {
+	s := &x.slots[n.recvs[i]]
+	x.led.ChargeRecv(int(n.rank), s.clock, int64(len(s.data)))
+	return s.data
+}
+
+// sendMsg charges the i-th send of n, publishes the payload into the
+// message slot and credits the consumer's dependency. Publishing
+// happens mid-node, as soon as the machine would have sent — a relay's
+// children never wait for the relay's local compute.
+func (x *dfRun) sendMsg(n *dfNode, i int, data []float64) {
+	msg := n.sends[i]
+	consumer := x.prog.msgConsumer[msg]
+	snap := x.led.ChargeSend(int(n.rank), int(x.prog.nodes[consumer].rank), int64(len(data)))
+	x.slots[msg] = dfSlot{data: data, clock: snap}
+	x.complete(consumer)
+}
+
+func (x *dfRun) pack(m *semiring.Matrix) []float64 {
+	if x.pl.Wire == WireDense {
+		return append([]float64(nil), m.V...)
+	}
+	return semiring.PackMatrix(m)
+}
+
+func (x *dfRun) unpack(data []float64, rows, cols int) *semiring.Matrix {
+	if x.pl.Wire == WireDense {
+		return semiring.FromSlice(rows, cols, data)
+	}
+	return semiring.UnpackMatrix(data, rows, cols)
+}
+
+// bcastData replays one rank's role in a broadcast: the root packs its
+// block (a copy — consumers share the payload), everyone else receives
+// once, then all forward down the tree. Charge order — receive, sends,
+// then the caller's consumer work — is the machine's.
+func (x *dfRun) bcastData(n *dfNode, op *BcastOp, rs *dfRankState) []float64 {
+	var data []float64
+	if int(n.rank) == op.Root {
+		data = x.pack(rs.A)
+	} else {
+		data = x.recvMsg(n, 0)
+	}
+	for i := range n.sends {
+		x.sendMsg(n, i, data)
+	}
+	return data
+}
+
+// exec runs one node. Each case mirrors the corresponding lines of
+// planExec.level; the charge sequences must stay textually parallel —
+// that correspondence is the bit-identity proof obligation.
+func (x *dfRun) exec(id int32, a *semiring.Arena) {
+	n := &x.prog.nodes[id]
+	rank := int(n.rank)
+	rs := &x.ranks[rank]
+	var lv *planLevel
+	if n.level >= 0 {
+		lv = &x.pl.Levels[n.level]
+	}
+	switch n.kind {
+	case dfInit:
+		x.led.SetMemory(rank, int64(len(rs.A.V)))
+
+	case dfDiag:
+		x.led.AddFlops(rank, x.kern.ClassicalFW(rs.A))
+
+	case dfR2:
+		op := &lv.R2[n.op]
+		data := x.bcastData(n, op, rs)
+		if contains(op.Consumers, rank) {
+			dk := x.unpack(data, x.sizes[op.BI], x.sizes[op.BJ])
+			x.led.AddMemory(rank, int64(len(dk.V)))
+			if op.Kind == opR2Left {
+				x.led.AddFlops(rank, x.kern.PanelUpdateLeftScratch(rs.A, dk, a))
+			} else {
+				x.led.AddFlops(rank, x.kern.PanelUpdateRightScratch(rs.A, dk, a))
+			}
+			x.led.AddMemory(rank, -int64(len(dk.V)))
+		}
+
+	case dfR3:
+		op := &lv.R3[n.op]
+		data := x.bcastData(n, op, rs)
+		if contains(op.Consumers, rank) {
+			m := x.unpack(data, x.sizes[op.BI], x.sizes[op.BJ])
+			x.led.AddMemory(rank, int64(len(m.V)))
+			if op.Kind == opR3Row {
+				rs.rowPanel = m
+			} else {
+				rs.colPanel = m
+			}
+		}
+
+	case dfR3Mul:
+		if rs.rowPanel != nil && rs.colPanel != nil {
+			x.led.AddFlops(rank, x.kern.MulAddInto(rs.A, rs.rowPanel, rs.colPanel))
+		}
+		if rs.rowPanel != nil {
+			x.led.AddMemory(rank, -int64(len(rs.rowPanel.V)))
+		}
+		if rs.colPanel != nil {
+			x.led.AddMemory(rank, -int64(len(rs.colPanel.V)))
+		}
+		rs.rowPanel, rs.colPanel = nil, nil
+
+	case dfR4Col:
+		op := &lv.R4Col[n.op]
+		data := x.bcastData(n, op, rs)
+		if contains(op.Consumers, rank) {
+			rs.unitAik = x.unpack(data, x.sizes[op.BI], x.sizes[op.BJ])
+			x.led.AddMemory(rank, int64(len(rs.unitAik.V)))
+		}
+
+	case dfR4Row:
+		op := &lv.R4Row[n.op]
+		data := x.bcastData(n, op, rs)
+		if contains(op.Consumers, rank) {
+			rs.unitAkj = x.unpack(data, x.sizes[op.BI], x.sizes[op.BJ])
+			x.led.AddMemory(rank, int64(len(rs.unitAkj.V)))
+		}
+
+	case dfUnit:
+		u := &lv.R4Units[n.op]
+		rs.unit = semiring.NewMatrix(x.sizes[u.I], x.sizes[u.J])
+		x.led.AddMemory(rank, int64(len(rs.unit.V)))
+		x.led.AddFlops(rank, x.kern.MulAddInto(rs.unit, rs.unitAik, rs.unitAkj))
+
+	case dfReduce:
+		op := &lv.R4Reduce[n.op]
+		if contains(op.Group, rank) {
+			data := rs.unit.V
+			for i := range n.recvs {
+				semiring.MinInto(data, x.recvMsg(n, i))
+			}
+			for i := range n.sends {
+				x.sendMsg(n, i, data)
+			}
+			if rank == op.Root {
+				semiring.MinInto(rs.A.V, data)
+				x.led.AddFlops(rank, int64(len(data)))
+			}
+		} else {
+			// External root: one receive from the group's first member.
+			res := x.recvMsg(n, 0)
+			semiring.MinInto(rs.A.V, res)
+			x.led.AddFlops(rank, int64(len(res)))
+		}
+
+	case dfR4Done:
+		if rs.unit != nil {
+			x.led.AddMemory(rank, -int64(len(rs.unit.V)))
+		}
+		if rs.unitAik != nil {
+			x.led.AddMemory(rank, -int64(len(rs.unitAik.V)))
+		}
+		if rs.unitAkj != nil {
+			x.led.AddMemory(rank, -int64(len(rs.unitAkj.V)))
+		}
+		rs.unit, rs.unitAik, rs.unitAkj = nil, nil, nil
+
+	case dfSeq:
+		op := &lv.R4Seq[n.op]
+		si := 0
+		if rank == op.AikOwner && op.Owner != op.AikOwner {
+			x.sendMsg(n, si, x.pack(rs.A))
+			si++
+		}
+		if rank == op.AkjOwner && op.Owner != op.AkjOwner {
+			x.sendMsg(n, si, x.pack(rs.A))
+		}
+		if rank == op.Owner {
+			ri := 0
+			var aik, akj *semiring.Matrix
+			var transient int64
+			if op.Owner == op.AikOwner {
+				aik = rs.A
+			} else {
+				aik = x.unpack(x.recvMsg(n, ri), x.sizes[op.BI], x.sizes[op.K])
+				ri++
+				transient += int64(len(aik.V))
+			}
+			if op.Owner == op.AkjOwner {
+				akj = rs.A
+			} else {
+				akj = x.unpack(x.recvMsg(n, ri), x.sizes[op.K], x.sizes[op.BJ])
+				transient += int64(len(akj.V))
+			}
+			x.led.AddMemory(rank, transient)
+			x.led.AddFlops(rank, x.kern.MulAddInto(rs.A, aik, akj))
+			x.led.AddMemory(rank, -transient)
+		}
+
+	case dfTrans:
+		op := &lv.Trans[n.op]
+		if rank == op.Src {
+			x.sendMsg(n, 0, x.pack(rs.A))
+		}
+		if rank == op.Dst {
+			src := x.unpack(x.recvMsg(n, 0), x.sizes[op.BI], x.sizes[op.BJ])
+			rs.A.CopyFrom(src.Transpose())
+		}
+
+	case dfMark:
+		x.led.Mark(rank, x.prog.levelNames[n.level])
+	}
+	if n.next >= 0 {
+		x.complete(n.next)
+	}
+}

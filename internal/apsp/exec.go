@@ -38,12 +38,30 @@ func (pl *Plan) LayoutFor(g *graph.Graph) *Layout {
 // structure the plan was built from (same ordering, tree and mask);
 // LayoutFor produces such a layout for any graph sharing the plan's
 // StructureFingerprint. Safe to call concurrently on one Plan.
+// Execute uses the default (dataflow) executor; ExecuteWith selects.
 func (pl *Plan) Execute(ly *Layout, kern semiring.Kernel) (*DistResult, error) {
+	return pl.ExecuteWith(ly, kern, ExecDataflow)
+}
+
+// ExecuteWith is Execute with an explicit executor choice. The two
+// engines are interchangeable: distances, report, phases and traffic
+// are bit-identical (pinned by the golden cost test and the
+// executor-equality property test).
+func (pl *Plan) ExecuteWith(ly *Layout, kern semiring.Kernel, ex Executor) (*DistResult, error) {
 	if ly.Tree.H != pl.H || ly.ND.N != pl.NSup {
 		return nil, fmt.Errorf("apsp: layout (h=%d, N=%d) does not match plan (h=%d, N=%d)",
 			ly.Tree.H, ly.ND.N, pl.H, pl.NSup)
 	}
-	blocks := ly.Blocks()
+	if ex == ExecMachine {
+		return pl.executeMachine(ly, kern)
+	}
+	return pl.executeDataflow(ly, kern)
+}
+
+// executeMachine runs the plan on the simulated machine, one goroutine
+// per rank — the reference executor.
+func (pl *Plan) executeMachine(ly *Layout, kern semiring.Kernel) (*DistResult, error) {
+	blocks, release := ly.BlocksPooled()
 	machine := comm.NewMachine(pl.P)
 	err := machine.Run(func(ctx *comm.Ctx) {
 		e := &planExec{
@@ -66,8 +84,10 @@ func (pl *Plan) Execute(ly *Layout, kern semiring.Kernel) (*DistResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("apsp: phase accounting failed: %w", err)
 	}
+	dist := ly.AssembleOriginal(blocks)
+	release()
 	return &DistResult{
-		Dist:    ly.AssembleOriginal(blocks),
+		Dist:    dist,
 		Report:  machine.Report(),
 		Layout:  ly,
 		P:       pl.P,

@@ -2,6 +2,7 @@ package apsp
 
 import (
 	"fmt"
+	"sync"
 
 	"sparseapsp/internal/etree"
 	"sparseapsp/internal/graph"
@@ -48,35 +49,91 @@ func NewLayoutFromOrdering(g *graph.Graph, nd *partition.Result) *Layout {
 	return ly
 }
 
+// blockBacking recycles the n²-word backing arrays of Blocks across
+// solves. A warm serving run executes one Blocks per query; without the
+// pool the allocator's zeroing and the GC's scanning of a multi-megabyte
+// slice are a fixed tax on every solve.
+var blockBacking sync.Pool
+
+func getBacking(n int) []float64 {
+	if v := blockBacking.Get(); v != nil {
+		if s := *(v.(*[]float64)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
 // Blocks builds the initial distance-matrix blocks: blocks[i][j]
 // (1-based supernode labels) holds edge weights between supernodes i
 // and j, Inf elsewhere, 0 on the global diagonal. The total storage is
 // exactly n² words spread over N² blocks.
 func (ly *Layout) Blocks() [][]*semiring.Matrix {
+	blocks, _ := ly.BlocksPooled()
+	return blocks
+}
+
+// BlocksPooled is Blocks plus a release callback that hands the flat
+// backing array back to an internal pool. Call release only once no
+// block is referenced anymore (the executors release right after
+// AssembleOriginal); callers that let blocks escape use plain Blocks.
+func (ly *Layout) BlocksPooled() (blocks [][]*semiring.Matrix, release func()) {
 	nSuper := ly.ND.N
-	blocks := make([][]*semiring.Matrix, nSuper+1)
+	// All N² block bodies live in one flat allocation (their total is
+	// exactly n² words) and the matrix headers in another: at large p
+	// the per-block allocations and their GC scanning otherwise rival
+	// the numeric work of a warm solve.
+	n := len(ly.ND.Perm)
+	flat := getBacking(n * n)
+	for i := range flat {
+		flat[i] = semiring.Inf
+	}
+	mats := make([]semiring.Matrix, nSuper*nSuper)
+	blocks = make([][]*semiring.Matrix, nSuper+1)
+	off, k := 0, 0
 	for i := 1; i <= nSuper; i++ {
 		blocks[i] = make([]*semiring.Matrix, nSuper+1)
 		for j := 1; j <= nSuper; j++ {
-			blocks[i][j] = semiring.NewMatrix(ly.ND.Sizes[i], ly.ND.Sizes[j])
+			sz := ly.ND.Sizes[i] * ly.ND.Sizes[j]
+			mats[k] = semiring.Matrix{Rows: ly.ND.Sizes[i], Cols: ly.ND.Sizes[j], V: flat[off : off+sz : off+sz]}
+			blocks[i][j] = &mats[k]
+			k++
+			off += sz
 		}
 		diag := blocks[i][i]
 		for d := 0; d < diag.Rows; d++ {
 			diag.Set(d, d, 0)
 		}
 	}
+	sup, loc := ly.vertexBlocks()
 	for v := 0; v < ly.PG.N(); v++ {
-		sv := ly.ND.SupernodeOf(v)
-		lv := v - ly.ND.Starts[sv]
+		sv, lv := sup[v], loc[v]
 		for _, e := range ly.PG.Adj(v) {
-			su := ly.ND.SupernodeOf(e.To)
-			lu := e.To - ly.ND.Starts[su]
-			if e.W < blocks[sv][su].At(lv, lu) {
-				blocks[sv][su].Set(lv, lu, e.W)
+			b := blocks[sv][sup[e.To]]
+			if i := int(lv)*b.Cols + int(loc[e.To]); e.W < b.V[i] {
+				b.V[i] = e.W
 			}
 		}
 	}
-	return blocks
+	return blocks, func() { blockBacking.Put(&flat) }
+}
+
+// vertexBlocks maps every permuted vertex index to its (supernode,
+// offset-within-supernode) coordinates in one O(n) sweep — the bulk
+// counterpart of the per-vertex SupernodeOf binary search, which
+// profiles as a top cost of Blocks and AssembleOriginal at large p.
+func (ly *Layout) vertexBlocks() (sup, loc []int32) {
+	n := len(ly.ND.Perm)
+	sup = make([]int32, n)
+	loc = make([]int32, n)
+	for s := 1; s <= ly.ND.N; s++ {
+		start := ly.ND.Starts[s]
+		for i := 0; i < ly.ND.Sizes[s]; i++ {
+			sup[start+i] = int32(s)
+			loc[start+i] = int32(i)
+		}
+	}
+	return sup, loc
 }
 
 // AssembleOriginal reassembles a full distance matrix in the original
@@ -84,15 +141,23 @@ func (ly *Layout) Blocks() [][]*semiring.Matrix {
 func (ly *Layout) AssembleOriginal(blocks [][]*semiring.Matrix) *semiring.Matrix {
 	n := ly.G.N()
 	out := semiring.NewMatrix(n, n)
+	sup, loc := ly.vertexBlocks()
+	// Gather each column's block coordinates once; the inner loop is
+	// then two table loads and one block access per entry.
+	colSup := make([]int32, n)
+	colLoc := make([]int32, n)
+	for v := 0; v < n; v++ {
+		pv := ly.ND.Perm[v]
+		colSup[v], colLoc[v] = sup[pv], loc[pv]
+	}
 	for u := 0; u < n; u++ {
 		pu := ly.ND.Perm[u]
-		su := ly.ND.SupernodeOf(pu)
-		lu := pu - ly.ND.Starts[su]
+		brow := blocks[sup[pu]]
+		lu := int(loc[pu])
+		orow := out.V[u*n : (u+1)*n]
 		for v := 0; v < n; v++ {
-			pv := ly.ND.Perm[v]
-			sv := ly.ND.SupernodeOf(pv)
-			lv := pv - ly.ND.Starts[sv]
-			out.Set(u, v, blocks[su][sv].At(lu, lv))
+			b := brow[colSup[v]]
+			orow[v] = b.V[lu*b.Cols+int(colLoc[v])]
 		}
 	}
 	return out

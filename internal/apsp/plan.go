@@ -150,6 +150,13 @@ type Plan struct {
 
 	hash string // lazily computed content hash
 	once sync.Once
+
+	// Lowered dataflow graph (dataflow.go), built lazily on the first
+	// dataflow Execute and shared by all subsequent ones: the lowering
+	// is a pure function of the symbolic schedule, so like the plan
+	// itself it is weights-independent and immutable once built.
+	dfOnce sync.Once
+	df     *dfProgram
 }
 
 // ScratchWords returns the scratch-arena words rank needs for an

@@ -103,10 +103,51 @@ func ParseWireFormat(s string) (WireFormat, error) {
 	}
 }
 
+// Executor selects the engine that runs a Plan's numeric phase. Both
+// executors produce bit-identical distances and bit-identical cost
+// reports; they differ only in how the host schedules the work.
+type Executor int
+
+const (
+	// ExecDataflow (the default) lowers the plan into a static
+	// dependency graph and runs ready ops on a bounded worker pool —
+	// a handful of goroutines instead of one per rank, direct buffer
+	// handoff instead of mailboxes, and cost accounting by
+	// deterministic replay. See dataflow.go.
+	ExecDataflow Executor = iota
+	// ExecMachine runs the plan on the simulated machine: p rank
+	// goroutines communicating through mailboxes. Kept as the
+	// reference semantics the dataflow executor is checked against.
+	ExecMachine
+)
+
+func (e Executor) String() string {
+	if e == ExecMachine {
+		return "machine"
+	}
+	return "dataflow"
+}
+
+// ParseExecutor maps an executor name ("dataflow", "machine"; "" means
+// dataflow) to its Executor value.
+func ParseExecutor(s string) (Executor, error) {
+	switch s {
+	case "", "dataflow":
+		return ExecDataflow, nil
+	case "machine":
+		return ExecMachine, nil
+	default:
+		return 0, fmt.Errorf("apsp: unknown executor %q (valid: dataflow, machine)", s)
+	}
+}
+
 // SparseOptions configures SparseAPSPWith.
 type SparseOptions struct {
 	Seed       int64
 	R4Strategy R4Strategy
+	// Executor selects the plan execution engine; see Executor. The
+	// zero value is the dataflow executor.
+	Executor Executor
 	// Layout, when non-nil, supplies a precomputed ordering (e.g. from
 	// partition.DistributedND) instead of running the sequential nested
 	// dissection; its tree height must match the machine size.
@@ -145,12 +186,12 @@ func SparseAPSPWith(g *graph.Graph, p int, opts SparseOptions) (*DistResult, err
 		if err != nil {
 			return nil, err
 		}
-		return pl.Execute(ly, opts.Kernel)
+		return pl.ExecuteWith(ly, opts.Kernel, opts.Executor)
 	}
 	if opts.Plans != nil {
 		fp := StructureFingerprintOf(g, p, opts.Seed, opts.Wire, opts.R4Strategy)
 		if pl, ok := opts.Plans.lookup(fp); ok {
-			return pl.Execute(pl.LayoutFor(g), opts.Kernel)
+			return pl.ExecuteWith(pl.LayoutFor(g), opts.Kernel, opts.Executor)
 		}
 		start := time.Now()
 		ly, pl, err := buildSymbolic(g, p, h, opts)
@@ -158,13 +199,13 @@ func SparseAPSPWith(g *graph.Graph, p int, opts SparseOptions) (*DistResult, err
 			return nil, err
 		}
 		opts.Plans.store(fp, pl, time.Since(start).Nanoseconds())
-		return pl.Execute(ly, opts.Kernel)
+		return pl.ExecuteWith(ly, opts.Kernel, opts.Executor)
 	}
 	ly, pl, err := buildSymbolic(g, p, h, opts)
 	if err != nil {
 		return nil, err
 	}
-	return pl.Execute(ly, opts.Kernel)
+	return pl.ExecuteWith(ly, opts.Kernel, opts.Executor)
 }
 
 // buildSymbolic runs the full symbolic phase from scratch: nested

@@ -36,9 +36,17 @@ func newMailbox() *mailbox {
 func (mb *mailbox) put(ws *watchState, m message) {
 	mb.mu.Lock()
 	mb.pending = append(mb.pending, m)
+	// Wake the owner only when it is blocked waiting for exactly this
+	// (src, tag): each mailbox has a single receiver, so a non-matching
+	// message cannot satisfy its wait, and an unconditional Broadcast
+	// just forces a spurious rescan of the pending list. The watchdog's
+	// poison wakeup still uses Broadcast.
+	notify := mb.waiting && mb.waitSrc == m.src && mb.waitTag == m.tag
 	mb.mu.Unlock()
 	ws.delivered.Add(1)
-	mb.cond.Broadcast()
+	if notify {
+		mb.cond.Signal()
+	}
 }
 
 // take removes and returns the first pending message from src with tag,
@@ -117,13 +125,23 @@ func (m *Machine) P() int { return m.p }
 // Reset clears all cost clocks, counters and pending messages so the
 // machine can run an independent program.
 func (m *Machine) Reset() {
+	// Every watchState counter must go back to zero: a leftover
+	// taken/blocked count from the previous run would skew the
+	// watchdog's progress sampling and can delay or trigger spurious
+	// deadlock verdicts on the next Run.
 	m.ws.poisoned.Store(false)
 	m.ws.delivered.Store(0)
+	m.ws.taken.Store(0)
+	m.ws.blocked.Store(0)
+	m.ws.finished.Store(0)
 	for i := range m.states {
 		m.states[i] = rankState{}
-		m.boxes[i].mu.Lock()
-		m.boxes[i].pending = nil
-		m.boxes[i].mu.Unlock()
+		mb := m.boxes[i]
+		mb.mu.Lock()
+		mb.pending = nil
+		mb.waiting = false
+		mb.waitSrc, mb.waitTag = 0, 0
+		mb.mu.Unlock()
 	}
 }
 
@@ -173,10 +191,12 @@ func (m *Machine) Run(fn func(ctx *Ctx)) error {
 // CriticalPath returns the element-wise maximum cost clock over all
 // ranks: the critical-path latency, bandwidth and flops of everything
 // executed so far.
-func (m *Machine) CriticalPath() Cost {
+func (m *Machine) CriticalPath() Cost { return criticalPathOf(m.states) }
+
+func criticalPathOf(states []rankState) Cost {
 	var c Cost
-	for i := range m.states {
-		c.maxInPlace(m.states[i].clock)
+	for i := range states {
+		c.maxInPlace(states[i].clock)
 	}
 	return c
 }
@@ -195,16 +215,21 @@ type Report struct {
 }
 
 // Report returns the cost summary of everything executed so far.
-func (m *Machine) Report() Report {
+func (m *Machine) Report() Report { return buildReport(m.p, m.states) }
+
+// buildReport summarizes a slice of per-rank states. Shared by Machine
+// and Replay so the two executors produce reports through identical
+// aggregation code.
+func buildReport(p int, states []rankState) Report {
 	rep := Report{
-		P:          m.p,
-		PerRank:    make([]Cost, m.p),
-		PeakWords:  make([]int64, m.p),
-		LocalFlops: make([]int64, m.p),
-		LocalSent:  make([]int64, m.p),
+		P:          p,
+		PerRank:    make([]Cost, p),
+		PeakWords:  make([]int64, p),
+		LocalFlops: make([]int64, p),
+		LocalSent:  make([]int64, p),
 	}
-	for i := range m.states {
-		st := &m.states[i]
+	for i := range states {
+		st := &states[i]
 		rep.Critical.maxInPlace(st.clock)
 		rep.TotalMessages += st.sentMsgs
 		rep.TotalWords += st.sentWords
@@ -223,11 +248,16 @@ func (m *Machine) Report() Report {
 // total payload volume src sent to dst. Useful for inspecting the
 // communication structure (the sparse algorithm's matrix mirrors the
 // eTree: pivot rows/columns and the unit-processor rows light up).
-func (m *Machine) Traffic() [][]int64 {
-	out := make([][]int64, m.p)
+func (m *Machine) Traffic() [][]int64 { return trafficOf(m.p, m.states) }
+
+func trafficOf(p int, states []rankState) [][]int64 {
+	// One backing array for the whole p×p matrix: at large p the row
+	// headers and per-row zeroing otherwise dominate the call.
+	out := make([][]int64, p)
+	flat := make([]int64, p*p)
 	for r := range out {
-		out[r] = make([]int64, m.p)
-		copy(out[r], m.states[r].sentTo)
+		out[r] = flat[r*p : (r+1)*p : (r+1)*p]
+		copy(out[r], states[r].sentTo)
 	}
 	return out
 }

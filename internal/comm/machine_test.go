@@ -229,6 +229,55 @@ func TestResetClearsState(t *testing.T) {
 	}
 }
 
+// TestResetClearsWatchCounters is the regression test for the Reset
+// bug where the taken/blocked watch counters survived a reset: the
+// watchdog samples those counters to detect progress, so stale values
+// from a previous run skew its deadlock verdicts on the next one.
+func TestResetClearsWatchCounters(t *testing.T) {
+	m := NewMachine(2)
+	if err := m.Run(func(c *Ctx) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2, 3})
+		} else {
+			c.Recv(0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ws.taken.Load(); got == 0 {
+		t.Fatal("test program should have taken at least one message")
+	}
+	m.Reset()
+	if got := m.ws.taken.Load(); got != 0 {
+		t.Errorf("after reset taken = %d, want 0", got)
+	}
+	if got := m.ws.blocked.Load(); got != 0 {
+		t.Errorf("after reset blocked = %d, want 0", got)
+	}
+	if got := m.ws.delivered.Load(); got != 0 {
+		t.Errorf("after reset delivered = %d, want 0", got)
+	}
+	if got := m.ws.finished.Load(); got != 0 {
+		t.Errorf("after reset finished = %d, want 0", got)
+	}
+	if m.ws.poisoned.Load() {
+		t.Error("after reset poisoned = true, want false")
+	}
+	// The reused machine must still run (and its watchdog must still
+	// tolerate) a message-heavy program.
+	if err := m.Run(func(c *Ctx) {
+		for i := 0; i < 50; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, i, []float64{float64(i)})
+			} else {
+				c.Recv(0, i)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTotalCountersAggregate(t *testing.T) {
 	m := NewMachine(3)
 	if err := m.Run(func(c *Ctx) {

@@ -42,13 +42,17 @@ type PhaseCost struct {
 // PhaseCosts aggregates the marks of a finished run. The k-th phase
 // spans from the (k−1)-th mark (or the start) to the k-th mark. It
 // returns an error if ranks recorded diverging mark sequences.
-func (m *Machine) PhaseCosts() ([]PhaseCost, error) {
-	if m.p == 0 {
+func (m *Machine) PhaseCosts() ([]PhaseCost, error) { return phaseCostsOf(m.p, m.states) }
+
+// phaseCostsOf is the shared implementation behind Machine.PhaseCosts
+// and Replay.PhaseCosts.
+func phaseCostsOf(p int, states []rankState) ([]PhaseCost, error) {
+	if p == 0 {
 		return nil, nil
 	}
-	ref := m.states[0].marks
-	for r := 1; r < m.p; r++ {
-		marks := m.states[r].marks
+	ref := states[0].marks
+	for r := 1; r < p; r++ {
+		marks := states[r].marks
 		if len(marks) != len(ref) {
 			return nil, fmt.Errorf("comm: rank %d recorded %d marks, rank 0 recorded %d", r, len(marks), len(ref))
 		}
@@ -63,9 +67,9 @@ func (m *Machine) PhaseCosts() ([]PhaseCost, error) {
 		out[i].ID = ref[i].id
 	}
 	// Per-rank advances.
-	for r := 0; r < m.p; r++ {
+	for r := 0; r < p; r++ {
 		prev := Cost{}
-		for i, mk := range m.states[r].marks {
+		for i, mk := range states[r].marks {
 			delta := Cost{
 				Latency:   mk.clock.Latency - prev.Latency,
 				Bandwidth: mk.clock.Bandwidth - prev.Bandwidth,
@@ -79,8 +83,8 @@ func (m *Machine) PhaseCosts() ([]PhaseCost, error) {
 	prevGlobal := Cost{}
 	for i := range ref {
 		var global Cost
-		for r := 0; r < m.p; r++ {
-			global.maxInPlace(m.states[r].marks[i].clock)
+		for r := 0; r < p; r++ {
+			global.maxInPlace(states[r].marks[i].clock)
 		}
 		out[i].Critical = Cost{
 			Latency:   global.Latency - prevGlobal.Latency,

@@ -1,0 +1,111 @@
+package comm
+
+// Replay is a cost ledger for deterministic replay executors: the same
+// per-rank clocks, counters and phase marks a Machine run maintains,
+// but advanced by explicit charge calls instead of by p rank
+// goroutines exchanging real messages. A dataflow executor that knows
+// the complete communication schedule in advance (every send's source,
+// destination and payload size, and every receive's matching send)
+// replays each rank's charge sequence in the rank's program order and
+// obtains clocks bit-identical to a Machine executing the same
+// program — see the charging rules on Ctx.Send and Ctx.Recv, which
+// ChargeSend and ChargeRecv reproduce verbatim.
+//
+// Concurrency contract: Replay itself takes no locks. Distinct ranks'
+// charges may be issued from different goroutines as long as (a) each
+// rank's charges are issued in that rank's program order, (b) no two
+// goroutines charge the same rank concurrently, and (c) every
+// ChargeSend happens-before the ChargeRecv consuming its returned
+// snapshot. A dataflow executor gets all three for free from its
+// dependency edges. The read-side aggregators (Report, CriticalPath,
+// PhaseCosts, Traffic) must only be called after all charges have been
+// issued and their goroutines joined.
+type Replay struct {
+	p      int
+	states []rankState
+}
+
+// NewReplay returns a ledger for p ranks with all clocks at zero.
+func NewReplay(p int) *Replay {
+	return &Replay{p: p, states: make([]rankState, p)}
+}
+
+// P returns the number of ranks.
+func (r *Replay) P() int { return r.p }
+
+// ChargeSend charges src for sending words payload words to dst and
+// returns the clock snapshot the message carries — the sender's clock
+// BEFORE the send was charged, exactly as Ctx.Send records it. The
+// caller passes the snapshot to the matching ChargeRecv.
+func (r *Replay) ChargeSend(src, dst int, words int64) Cost {
+	st := &r.states[src]
+	snap := st.clock
+	st.clock.addMessage(words)
+	st.sentMsgs++
+	st.sentWords += words
+	if st.sentTo == nil {
+		st.sentTo = make([]int64, r.p)
+	}
+	st.sentTo[dst] += words
+	return snap
+}
+
+// ChargeRecv charges rank for receiving a words-word message carrying
+// the sender snapshot: max-merge first, then one message of words
+// words, exactly as Ctx.Recv. Receive order matters — max-then-add is
+// not commutative across receives — so the caller must issue a rank's
+// ChargeRecv calls in the rank's program order.
+func (r *Replay) ChargeRecv(rank int, sender Cost, words int64) {
+	st := &r.states[rank]
+	st.clock.maxInPlace(sender)
+	st.clock.addMessage(words)
+	st.recvdMsgs++
+	st.recvdWords += words
+}
+
+// AddFlops charges n semiring operations to rank, as Ctx.AddFlops.
+func (r *Replay) AddFlops(rank int, n int64) {
+	st := &r.states[rank]
+	st.clock.Flops += n
+	st.localFlops += n
+}
+
+// SetMemory registers rank's current resident words, as Ctx.SetMemory.
+func (r *Replay) SetMemory(rank int, words int64) {
+	st := &r.states[rank]
+	st.memWords = words
+	if words > st.peakWords {
+		st.peakWords = words
+	}
+}
+
+// AddMemory adjusts rank's resident words by delta, as Ctx.AddMemory.
+func (r *Replay) AddMemory(rank int, delta int64) {
+	st := &r.states[rank]
+	st.memWords += delta
+	if st.memWords > st.peakWords {
+		st.peakWords = st.memWords
+	}
+}
+
+// Mark records a phase boundary labelled id on rank, as Ctx.Mark.
+func (r *Replay) Mark(rank int, id string) {
+	st := &r.states[rank]
+	st.marks = append(st.marks, markEntry{id: id, clock: st.clock})
+}
+
+// Clock returns rank's current cost clock.
+func (r *Replay) Clock(rank int) Cost { return r.states[rank].clock }
+
+// CriticalPath returns the element-wise maximum clock over all ranks.
+func (r *Replay) CriticalPath() Cost { return criticalPathOf(r.states) }
+
+// Report returns the cost summary of everything charged so far,
+// through the same aggregation code as Machine.Report.
+func (r *Replay) Report() Report { return buildReport(r.p, r.states) }
+
+// PhaseCosts aggregates the recorded marks, as Machine.PhaseCosts.
+func (r *Replay) PhaseCosts() ([]PhaseCost, error) { return phaseCostsOf(r.p, r.states) }
+
+// Traffic returns the words-sent matrix, as Machine.Traffic.
+func (r *Replay) Traffic() [][]int64 { return trafficOf(r.p, r.states) }

@@ -101,6 +101,44 @@ func (p *Pool) ForEach(n int, f func(i int)) {
 	wg.Wait()
 }
 
+// Drive runs worker(i) for every i in [0, n), at most Size() at a
+// time, on dedicated goroutines plus the caller — never on the pool's
+// job workers. It exists for long-lived worker loops (the dataflow
+// plan executor's drain loops block waiting for ready ops): a job
+// worker blocked inside such a loop could not pick up the nested
+// kernel jobs the loop itself submits through the pooled kernels,
+// which would wedge the pool when every job worker is so occupied.
+// Drive returns when every worker call has returned.
+func (p *Pool) Drive(n int, worker func(i int)) {
+	if n <= 0 {
+		return
+	}
+	limit := p.Size()
+	if limit > n {
+		limit = n
+	}
+	var next atomic.Int64
+	loop := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			worker(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < limit-1; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			loop()
+		}()
+	}
+	loop()
+	wg.Wait()
+}
+
 // MulAddInto computes C = C ⊕ A ⊗ B with the tiled kernel fanned out
 // over the pool in contiguous row bands. Distinct bands write disjoint
 // rows of C, so no synchronization beyond the final join is needed;
