@@ -422,11 +422,43 @@ type OracleStats = oracle.Stats
 // cache key (and as the graph id of cmd/apspd).
 func GraphFingerprint(g *Graph) oracle.Fingerprint { return oracle.FingerprintOf(g) }
 
+// EdgeEdit names one existing edge and its new weight, for the
+// incremental reweighting path (OracleRegistry.Reweight and
+// apsp.Repair). Edits may only change weights, never the structure.
+type EdgeEdit = apsp.EdgeEdit
+
+// RepairStats describes what one incremental repair did: edit mix,
+// dirtied block counts, damage fraction, and whether the repair fell
+// back to a warm re-solve.
+type RepairStats = apsp.RepairStats
+
 // oracleSolver adapts Solve + successor extraction to the oracle
 // package's solver interface.
 func oracleSolver(opts Options) oracle.SolveFunc {
 	return func(g *Graph) (*PathResult, error) {
 		return SolveWithPathsOptions(g, opts)
+	}
+}
+
+// repairP picks the sparse machine size the repair engine stages its
+// block matrix on: the configured P when it is a valid sparse size (so
+// repairs share the plan cache with the solves), else the 49-rank
+// default layout.
+func repairP(opts Options) int {
+	if _, err := apsp.HeightForP(opts.P); err == nil && opts.P > 1 {
+		return opts.P
+	}
+	return 49
+}
+
+// oracleRepairer adapts apsp.RepairWithOptions to the oracle package's
+// repair interface, sharing opts.Plans so a reweight of a structure the
+// registry has already solved performs no symbolic work.
+func oracleRepairer(opts Options) oracle.RepairFunc {
+	p := repairP(opts)
+	sopts := apsp.SparseOptions{Seed: opts.Seed, Kernel: opts.Kernel, Wire: opts.Wire, Executor: opts.Executor, Plans: opts.Plans}
+	return func(g *Graph, prev *PathResult, edits []EdgeEdit) (*PathResult, *Graph, RepairStats, error) {
+		return apsp.RepairWithOptions(g, prev, edits, p, sopts, 0)
 	}
 }
 
@@ -448,6 +480,7 @@ func NewOracleRegistry(opts Options, budgetBytes int64) *OracleRegistry {
 	}
 	return oracle.NewRegistry(oracle.Config{
 		Solve:        oracleSolver(opts),
+		Repair:       oracleRepairer(opts),
 		MemoryBudget: budgetBytes,
 		Plans:        opts.Plans,
 	})
@@ -459,4 +492,13 @@ func NewOracleRegistry(opts Options, budgetBytes int64) *OracleRegistry {
 // APSP; see internal/apsp.VerifyDistances for the exact checks.
 func VerifyDistances(g *Graph, d *Matrix) error {
 	return apsp.VerifyDistances(g, d)
+}
+
+// VerifyPaths certifies that a PathResult's successor structure is
+// consistent with its distances on g: every reachable pair walks to a
+// real path of matching weight, every unreachable pair has none. The
+// path-level counterpart of VerifyDistances; see
+// internal/apsp.VerifyPaths.
+func VerifyPaths(g *Graph, res *PathResult) error {
+	return apsp.VerifyPaths(g, res)
 }

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, plan, exec, opcount, perlevel, balance, weak, strong, fig1")
+		exp     = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, plan, exec, reweight, opcount, perlevel, balance, weak, strong, fig1")
 		sides   = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
 		ps      = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
 		seed    = flag.Int64("seed", 42, "nested-dissection seed")
@@ -153,6 +153,9 @@ func main() {
 		case "exec":
 			t, err := harness.ExecutorComparison(cfg, *reps)
 			show(name, t, err)
+		case "reweight":
+			t, err := harness.ReweightAblation(cfg, *xn, *xp, *reps)
+			show(name, t, err)
 		case "opcount":
 			t, err := harness.OperationCounts(cfg)
 			show(name, t, err)
@@ -192,7 +195,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table2-memory", "table2-bandwidth", "table2-latency",
-			"factors", "lower", "sepcost", "crossover", "wire", "plan", "exec", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
+			"factors", "lower", "sepcost", "crossover", "wire", "plan", "exec", "reweight", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
 			run(name)
 		}
 	} else {

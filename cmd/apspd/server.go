@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sparseapsp/internal/apsp"
 	"sparseapsp/internal/graph"
 	"sparseapsp/internal/oracle"
 )
@@ -65,6 +66,7 @@ func newServer(reg *oracle.Registry) *server {
 	s.handle("load", "POST /load", s.handleLoad)
 	s.handle("generate", "POST /generate", s.handleGenerate)
 	s.handle("query", "POST /query", s.handleQuery)
+	s.handle("reweight", "POST /reweight", s.handleReweight)
 	s.handle("statsz", "GET /statsz", s.handleStatsz)
 	s.handle("healthz", "GET /healthz", s.handleHealthz)
 	return s
@@ -230,7 +232,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return badRequest("%v", err)
 	}
-	o, err, ok := s.reg.Lookup(fp)
+	o, ok, err := s.reg.Lookup(fp)
 	if !ok {
 		return &apiError{status: http.StatusNotFound,
 			err: fmt.Errorf("unknown graph %s: load or generate it first", req.Graph)}
@@ -258,6 +260,75 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, resp)
 }
 
+// reweightRequest changes the weights of existing edges of a loaded
+// graph. Edits are [u, v, w] triples like /load's edges; every edge
+// must already exist (reweighting never changes the structure). The
+// repaired oracle is installed under the edited graph's fingerprint and
+// the old fingerprint stops serving.
+type reweightRequest struct {
+	Graph string       `json:"graph"`
+	Edits [][3]float64 `json:"edits"`
+}
+
+type reweightResponse struct {
+	Graph string `json:"graph"` // the new fingerprint to query by
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+
+	Edits          int     `json:"edits"`
+	Decreases      int     `json:"decreases"`
+	Increases      int     `json:"increases"`
+	ResetPairs     int     `json:"reset_pairs"`
+	AffectedRows   int     `json:"affected_rows"`
+	TotalPairs     int     `json:"total_pairs"`
+	DamageFraction float64 `json:"damage_fraction"`
+	FellBack       bool    `json:"fell_back"`
+}
+
+func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) error {
+	var req reweightRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		return badRequest("bad JSON: %v", err)
+	}
+	if len(req.Edits) == 0 {
+		return badRequest("reweight needs at least one [u, v, w] edit")
+	}
+	fp, err := oracle.ParseFingerprint(req.Graph)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	edits := make([]apsp.EdgeEdit, len(req.Edits))
+	for i, e := range req.Edits {
+		u, v := int(e[0]), int(e[1])
+		if float64(u) != e[0] || float64(v) != e[1] {
+			return badRequest("edit %d: endpoints (%g,%g) are not integers", i, e[0], e[1])
+		}
+		edits[i] = apsp.EdgeEdit{U: u, V: v, W: e[2]}
+	}
+	newFp, o, st, err := s.reg.Reweight(fp, edits)
+	if errors.Is(err, oracle.ErrUnknownGraph) {
+		return &apiError{status: http.StatusNotFound,
+			err: fmt.Errorf("unknown graph %s: load or generate it first", req.Graph)}
+	}
+	if err != nil {
+		return badRequest("reweight failed: %v", err)
+	}
+	g := o.Graph()
+	return writeJSON(w, reweightResponse{
+		Graph:          newFp.String(),
+		N:              g.N(),
+		M:              g.M(),
+		Edits:          st.Edits,
+		Decreases:      st.Decreases,
+		Increases:      st.Increases,
+		ResetPairs:     st.ResetPairs,
+		AffectedRows:   st.AffectedRows,
+		TotalPairs:     st.TotalPairs,
+		DamageFraction: st.DamageFraction,
+		FellBack:       st.FellBack,
+	})
+}
+
 // statszResponse is the /statsz report: registry counters plus the
 // per-endpoint traffic counters.
 type statszResponse struct {
@@ -278,6 +349,11 @@ type registrySnapshot struct {
 	QueriesServed   int64   `json:"queries_served"`
 	QueriesInFlight int64   `json:"queries_in_flight"`
 	QueryMs         float64 `json:"query_ms"`
+	// Reweight counters: repair_fallbacks counts reweights whose edit
+	// damage forced a warm re-solve instead of an incremental repair.
+	Reweights       int64   `json:"reweights"`
+	RepairFallbacks int64   `json:"repair_fallbacks"`
+	RepairMs        float64 `json:"repair_ms"`
 	// Symbolic plan-cache counters of the sparse solver: plan_hits are
 	// solves that reused a cached plan (zero ordering/eTree/fill-mask
 	// work). All zero when the registry's solver runs without a cache.
@@ -303,6 +379,9 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 			QueriesServed:   st.QueriesServed,
 			QueriesInFlight: st.QueriesInFlight,
 			QueryMs:         float64(st.QueryNanos) / 1e6,
+			Reweights:       st.Reweights,
+			RepairFallbacks: st.RepairFallbacks,
+			RepairMs:        float64(st.RepairNanos) / 1e6,
 			PlanBuilds:      st.PlanBuilds,
 			PlanHits:        st.PlanHits,
 			PlanEntries:     st.PlanEntries,

@@ -284,3 +284,87 @@ func TestServerHealthz(t *testing.T) {
 		t.Errorf("/healthz status %d", resp.StatusCode)
 	}
 }
+
+// TestServerReweight is the live-reweighting e2e: load a graph, repair
+// it through POST /reweight, and check that the new fingerprint serves
+// exact distances for the edited graph while the old fingerprint 404s —
+// the atomic-swap contract, observed through the HTTP surface.
+func TestServerReweight(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+
+	var info graphInfo
+	if resp := postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 49, Seed: 7}, &info); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/generate status %d", resp.StatusCode)
+	}
+	g, err := graph.NamedGenerator("grid", 49, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	edits := [][3]float64{
+		{float64(edges[0].U), float64(edges[0].V), edges[0].W + 4},
+		{float64(edges[1].U), float64(edges[1].V), 0},
+	}
+
+	var rw reweightResponse
+	if resp := postJSON(t, ts.URL+"/reweight", reweightRequest{Graph: info.Graph, Edits: edits}, &rw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/reweight status %d", resp.StatusCode)
+	}
+	if rw.Graph == info.Graph {
+		t.Fatal("reweight returned the old fingerprint")
+	}
+	if rw.Edits != 2 || rw.Increases != 1 || rw.Decreases != 1 {
+		t.Errorf("reweight stats %+v, want 2 edits (1 inc, 1 dec)", rw)
+	}
+
+	// Old id is gone; new id serves the edited graph's distances.
+	if resp := postJSON(t, ts.URL+"/query", queryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("old fingerprint: status %d, want 404", resp.StatusCode)
+	}
+	g2, err := apsp.ApplyEdits(g, []apsp.EdgeEdit{
+		{U: edges[0].U, V: edges[0].V, W: edges[0].W + 4},
+		{U: edges[1].U, V: edges[1].V, W: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.FingerprintOf(g2).String(); got != rw.Graph {
+		t.Fatalf("server reweight fingerprint %s, local %s", rw.Graph, got)
+	}
+	want := apsp.FloydWarshallPaths(g2)
+	pairs := [][2]int{{0, 48}, {edges[0].U, edges[0].V}, {6, 42}}
+	var qr queryResponse
+	if resp := postJSON(t, ts.URL+"/query", queryRequest{Graph: rw.Graph, Pairs: pairs, Paths: true}, &qr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query on new fingerprint: status %d", resp.StatusCode)
+	}
+	for i, p := range pairs {
+		if ref := want.Dist.At(p[0], p[1]); math.Abs(qr.Dists[i]-ref) > 1e-9 {
+			t.Errorf("dist %v = %g, want %g", p, qr.Dists[i], ref)
+		}
+		if w := apsp.PathWeight(g2, qr.Paths[i]); math.Abs(w-want.Dist.At(p[0], p[1])) > 1e-9 {
+			t.Errorf("path %v weight %g, want %g", p, w, want.Dist.At(p[0], p[1]))
+		}
+	}
+
+	// Error paths: unknown graph 404s, structural edits 400.
+	if resp := postJSON(t, ts.URL+"/reweight", reweightRequest{Graph: info.Graph, Edits: edits}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("reweight of swapped-out fingerprint: status %d, want 404", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/reweight", reweightRequest{Graph: rw.Graph, Edits: [][3]float64{{0, 48, 1}}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reweight adding an edge: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/reweight", reweightRequest{Graph: rw.Graph}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reweight with no edits: status %d, want 400", resp.StatusCode)
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Registry.Reweights != 1 {
+		t.Errorf("registry reweights = %d, want 1", st.Registry.Reweights)
+	}
+	if st.Registry.Entries != 1 {
+		t.Errorf("registry entries = %d after swap, want 1", st.Registry.Entries)
+	}
+	if st.Endpoints["reweight"].Requests != 4 || st.Endpoints["reweight"].Errors != 3 {
+		t.Errorf("reweight endpoint counters %+v, want 4 requests / 3 errors", st.Endpoints["reweight"])
+	}
+}

@@ -89,44 +89,66 @@ func SuccessorsFromDist(g *graph.Graph, d *semiring.Matrix) (*PathResult, error)
 	for i := range next {
 		next[i] = -1
 	}
-	tight := func(sum, dist float64) bool {
-		if sum == dist {
-			return true
-		}
-		if math.IsInf(sum, 1) || math.IsInf(dist, 1) {
-			return false
-		}
-		tol := 1e-9
-		if a := math.Abs(dist); a > 1 {
-			tol *= a
-		}
-		return math.Abs(sum-dist) <= tol
-	}
 	queue := make([]int, 0, n)
 	for v := 0; v < n; v++ {
-		next[v*n+v] = int32(v)
-		queue = append(queue[:0], v)
-		for head := 0; head < len(queue); head++ {
-			w := queue[head]
-			dwv := d.At(w, v)
-			for _, e := range g.Adj(w) {
-				u := e.To
-				if u == v || next[u*n+v] != -1 {
-					continue
-				}
-				if tight(e.W+dwv, d.At(u, v)) {
-					next[u*n+v] = int32(w)
-					queue = append(queue, u)
-				}
-			}
-		}
-		for u := 0; u < n; u++ {
-			if next[u*n+v] == -1 && !math.IsInf(d.At(u, v), 1) {
-				return nil, fmt.Errorf("apsp: SuccessorsFromDist: d(%d,%d)=%g is not explained by any edge of the graph (inconsistent distances)", u, v, d.At(u, v))
-			}
+		if err := successorColumn(g, d, v, next, queue); err != nil {
+			return nil, err
 		}
 	}
 	return &PathResult{Dist: d, n: n, next: next}, nil
+}
+
+// tightSum reports whether sum explains dist: exact equality, or — for
+// finite values — equality within a small relative tolerance, because
+// different solvers may sum the same path in different orders.
+func tightSum(sum, dist float64) bool {
+	if sum == dist {
+		return true
+	}
+	if math.IsInf(sum, 1) || math.IsInf(dist, 1) {
+		return false
+	}
+	tol := 1e-9
+	if a := math.Abs(dist); a > 1 {
+		tol *= a
+	}
+	return math.Abs(sum-dist) <= tol
+}
+
+// successorColumn rebuilds column v of the successor table from the
+// distance matrix: the backward breadth-first walk of the tight-edge
+// graph rooted at v described on SuccessorsFromDist. Entries
+// next[u*n+v] for all u are overwritten; queue is scratch (may be nil).
+// The incremental repair path calls this for exactly the columns whose
+// distances or tight edges changed, leaving the rest of the table as
+// the original solve built it.
+func successorColumn(g *graph.Graph, d *semiring.Matrix, v int, next []int32, queue []int) error {
+	n := g.N()
+	for u := 0; u < n; u++ {
+		next[u*n+v] = -1
+	}
+	next[v*n+v] = int32(v)
+	queue = append(queue[:0], v)
+	for head := 0; head < len(queue); head++ {
+		w := queue[head]
+		dwv := d.At(w, v)
+		for _, e := range g.Adj(w) {
+			u := e.To
+			if u == v || next[u*n+v] != -1 {
+				continue
+			}
+			if tightSum(e.W+dwv, d.At(u, v)) {
+				next[u*n+v] = int32(w)
+				queue = append(queue, u)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if next[u*n+v] == -1 && !math.IsInf(d.At(u, v), 1) {
+			return fmt.Errorf("apsp: SuccessorsFromDist: d(%d,%d)=%g is not explained by any edge of the graph (inconsistent distances)", u, v, d.At(u, v))
+		}
+	}
+	return nil
 }
 
 // N returns the number of vertices the result covers; valid query

@@ -1,0 +1,621 @@
+package apsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// Incremental reweighting: repair a solved distance matrix after a
+// small set of edge-weight edits instead of replaying the whole
+// numeric phase. The symbolic machinery is weights-independent, so a
+// weight edit never changes the Plan — only the numeric state ages.
+// This is the update-oriented APSP of Urakov & Timeryaev
+// (arXiv:1308.1568):
+//
+//   - weight decreases only ever LOWER distances, and with non-negative
+//     weights a shortest path crosses a decreased edge {u,v} at most
+//     once, so ONE exact O(n²) row sweep folds each decrease in:
+//     d'(x,z) = min(d(x,z), d(x,u)+w+d(v,z), d(x,v)+w+d(u,z)).
+//     Decreases applied one at a time keep the matrix exact after every
+//     sweep — no fixpoint iteration at all;
+//   - weight increases can RAISE distances, but only for pairs whose
+//     old shortest path was tight through an increased edge — and any
+//     such pair's source has a tight path to an edge endpoint, so the
+//     candidate ROWS are found in O(#increases · n). A scan over just
+//     those rows marks the reset pairs, and each damaged row is then
+//     repaired independently by a boundary Dijkstra over its reset
+//     targets: the row's non-reset entries are provably final for the
+//     edited graph, so they seed the frontier and only the reset
+//     vertices are ever settled — O(Σ deg + |resets| log |resets|) per
+//     row, independent of n.
+//   - past a damage-fraction threshold — or once the relaxation probes
+//     exceed a fixed multiple of n², meaning the edits rippled through
+//     a large share of all pairs — the repair abandons itself and
+//     falls back to a warm Plan.Execute, which is never slower than a
+//     full re-solve would have been anyway.
+//
+// (Two coarser designs were measured first and lost: a worklist over
+// the Plan's supernodal blocks loses to a warm re-solve even for
+// single-edge edits — one changed column dirties whole block strips
+// and full dense block products run — and a reset+recompute pass with
+// an entry-level worklist pays O(n) per reset pair, which on graphs
+// with many tied shortest paths, like integer-weighted grids, turns
+// the tightness test's deliberate over-resetting into tens of
+// milliseconds of recompute for edits that changed almost nothing.)
+
+// EdgeEdit changes the weight of one EXISTING edge {U, V} to W. Edits
+// may only reweight edges, never add or remove them — the repair
+// engine reuses the plan's weights-independent symbolic structure,
+// which an edge insertion or deletion would invalidate.
+type EdgeEdit struct {
+	U, V int
+	W    float64
+}
+
+// DefaultDamageThreshold is the seeded-pair fraction past which Repair
+// falls back to a warm Plan.Execute.
+const DefaultDamageThreshold = 0.25
+
+// repairProbeBudget bounds the relaxation probes at budget·n². An edit
+// whose ripple exceeds that has invalidated a large share of all pairs
+// and a warm re-solve is cheaper than finishing the propagation.
+const repairProbeBudget = 32
+
+// RepairOptions configures Plan.Repair.
+type RepairOptions struct {
+	// DamageThreshold is the fraction of the n² pairs that may be
+	// seeded (changed by an edit or reset by the increase phase) before
+	// Repair gives up on propagation and falls back to a warm
+	// Plan.Execute. 0 means DefaultDamageThreshold; values >= 1 never
+	// fall back at all (the probe budget is disabled too — useful for
+	// tests that need the propagation path unconditionally).
+	DamageThreshold float64
+	// Kernel and Executor configure the fallback solve only; the
+	// propagation itself works on scalar entries and has no kernel to
+	// choose.
+	Kernel   semiring.Kernel
+	Executor Executor
+}
+
+// RepairStats describes what one Repair call did.
+type RepairStats struct {
+	Edits     int // edits that survived validation and dedup
+	Decreases int // edits that lowered a weight
+	Increases int // edits that raised a weight
+
+	ResetPairs     int     // vertex pairs invalidated by the increase phase
+	AffectedRows   int     // rows whose distances the increases may change
+	ResetRows      int     // affected rows actually holding reset pairs (rebuilt)
+	TotalPairs     int     // n² (the damage denominator)
+	DamageFraction float64 // ResetPairs / TotalPairs
+
+	FellBack        bool  // true when a threshold forced a warm Execute
+	Relaxations     int64 // probes run (sweeps + reset scans + Dijkstra edges)
+	Writes          int64 // entries the repair actually improved
+	RepairedColumns int   // successor-table columns rebuilt
+}
+
+// edgeDelta is a validated, deduplicated edit with its old weight.
+type edgeDelta struct {
+	u, v     int
+	old, new float64
+}
+
+// normalizeEdits validates edits against g and collapses duplicates
+// (last edit per edge wins). No-op edits (same weight) are dropped.
+func normalizeEdits(g *graph.Graph, edits []EdgeEdit) ([]edgeDelta, error) {
+	n := g.N()
+	order := make([][2]int, 0, len(edits))
+	last := make(map[[2]int]float64, len(edits))
+	for i, e := range edits {
+		u, v := e.U, e.V
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			return nil, fmt.Errorf("apsp: edit %d: {%d,%d} is not an edge of a %d-vertex graph", i, e.U, e.V, n)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) || e.W < 0 {
+			return nil, fmt.Errorf("apsp: edit %d: weight %g for edge {%d,%d} must be finite and non-negative", i, e.W, e.U, e.V)
+		}
+		key := [2]int{u, v}
+		if _, seen := last[key]; !seen {
+			order = append(order, key)
+		}
+		last[key] = e.W
+	}
+	out := make([]edgeDelta, 0, len(order))
+	for _, key := range order {
+		old, ok := g.HasEdge(key[0], key[1])
+		if !ok {
+			return nil, fmt.Errorf("apsp: edit {%d,%d}: edge does not exist (reweighting cannot change the structure)", key[0], key[1])
+		}
+		if w := last[key]; w != old {
+			out = append(out, edgeDelta{u: key[0], v: key[1], old: old, new: w})
+		}
+	}
+	return out, nil
+}
+
+// ApplyEdits returns a copy of g with the edits applied. It validates
+// exactly as Repair does: every edit must name an existing edge and a
+// finite non-negative weight. The registry uses it to compute the
+// edited graph's fingerprint before the repair runs.
+func ApplyEdits(g *graph.Graph, edits []EdgeEdit) (*graph.Graph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("apsp: ApplyEdits: nil graph")
+	}
+	deltas, err := normalizeEdits(g, edits)
+	if err != nil {
+		return nil, err
+	}
+	out := g.Clone()
+	for _, d := range deltas {
+		out.SetEdge(d.u, d.v, d.new)
+	}
+	return out, nil
+}
+
+// Repair produces the PathResult for g with edits applied, starting
+// from prev (the solved result for g) instead of re-running the
+// numeric phase. prev is never mutated — in-flight queries on the old
+// oracle stay valid while the registry swaps fingerprints. The
+// returned graph is the edited copy the result is valid for.
+//
+// The repaired distances are exactly the shortest-path distances of
+// the edited graph; with weights whose path sums are float64-exact
+// (integers, in particular) they are bit-identical to a warm
+// Plan.Execute on the edited graph, and the fallback path IS a warm
+// Plan.Execute. The plan must have been built for g's structure (same
+// StructureFingerprint modulo weights).
+func (pl *Plan) Repair(g *graph.Graph, prev *PathResult, edits []EdgeEdit, opts RepairOptions) (*PathResult, *graph.Graph, RepairStats, error) {
+	var st RepairStats
+	if g == nil || prev == nil {
+		return nil, nil, st, fmt.Errorf("apsp: Repair: nil graph or result")
+	}
+	n := g.N()
+	if prev.N() != n || len(pl.ND.Perm) != n {
+		return nil, nil, st, fmt.Errorf("apsp: Repair: result covers %d vertices, graph has %d (plan: %d)", prev.N(), n, len(pl.ND.Perm))
+	}
+	deltas, err := normalizeEdits(g, edits)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	g2 := g.Clone()
+	for _, d := range deltas {
+		g2.SetEdge(d.u, d.v, d.new)
+		st.Edits++
+		if d.new < d.old {
+			st.Decreases++
+		} else {
+			st.Increases++
+		}
+	}
+	threshold := opts.DamageThreshold
+	if threshold == 0 {
+		threshold = DefaultDamageThreshold
+	}
+	st.TotalPairs = n * n
+	if st.TotalPairs == 0 {
+		st.TotalPairs = 1 // empty graphs: avoid 0/0 below
+	}
+	budget := int64(repairProbeBudget) * int64(st.TotalPairs)
+	if threshold >= 1 {
+		budget = math.MaxInt64
+	}
+
+	// Cheap pre-guard, before any O(n²) inspection: editing a large
+	// fraction of the edges seeds a comparable fraction of the pairs —
+	// re-solve instead.
+	if m := g.M(); m > 0 && float64(len(deltas))/float64(m) > threshold {
+		st.DamageFraction = 1
+		return pl.repairFallback(g2, opts, &st)
+	}
+	if len(deltas) == 0 {
+		// Nothing changed: the old result already serves the edited
+		// graph. Return a shallow copy so callers can treat the output
+		// as a fresh oracle either way.
+		return &PathResult{Dist: prev.Dist.Clone(), n: n, next: append([]int32(nil), prev.next...)}, g2, st, nil
+	}
+
+	d := append([]float64(nil), prev.Dist.V...)
+
+	// The phases below lean on the matrix being value-symmetric
+	// (d(x,y) = d(y,x), guaranteed for an undirected graph), reading
+	// d(x,u) as row u entry x so every scan walks contiguous memory.
+
+	// Phase 1 — decreases, one exact row sweep each. A row x can only
+	// improve if x's distance to an endpoint strictly improves through
+	// the edge (the improving path's endpoint prefix is itself an
+	// improving path), so the affected sources are found in O(n); and
+	// with non-negative weights a shortest path crosses the decreased
+	// edge {u,v} at most once, so for every affected pair (x,z) the new
+	// distance is min(d(x,z), d(x,u)+w+d(v,z), d(x,v)+w+d(u,z)) over
+	// the pre-sweep matrix. Reading partially-updated entries is
+	// harmless — every candidate stays a valid walk weight ≥ the true
+	// distance. Applied one edit at a time, the matrix is exactly the
+	// distances of the partially-edited graph after each sweep — no
+	// fixpoint iteration, no worklist.
+	affected := make([]int, 0, n)
+	for _, del := range deltas {
+		if del.new >= del.old {
+			continue
+		}
+		w := del.new
+		rowU := d[del.u*n : (del.u+1)*n]
+		rowV := d[del.v*n : (del.v+1)*n]
+		affected = affected[:0]
+		for x := 0; x < n; x++ {
+			if rowU[x]+w < rowV[x] || rowV[x]+w < rowU[x] {
+				affected = append(affected, x)
+			}
+		}
+		st.Relaxations += int64(n) + int64(len(affected))*int64(n)
+		if st.Relaxations > budget {
+			return pl.repairFallback(g2, opts, &st)
+		}
+		for _, x := range affected {
+			rowX := d[x*n : (x+1)*n]
+			au := rowX[del.u] + w
+			av := rowX[del.v] + w
+			for z, dvz := range rowV {
+				s := au + dvz
+				if s2 := av + rowU[z]; s2 < s {
+					s = s2
+				}
+				if s < rowX[z] {
+					rowX[z] = s
+					st.Writes++
+				}
+			}
+		}
+	}
+
+	// Phase 2 — increases. The matrix is now exact for the graph with
+	// only the decreases applied (which still carries every increased
+	// edge at its OLD weight), so it is a min-plus fixpoint under which
+	// the tightness tests below are meaningful.
+	if st.Increases > 0 {
+		if err := repairIncreases(g2, deltas, d, threshold, budget, &st); err != nil {
+			if err == errRepairDamage {
+				return pl.repairFallback(g2, opts, &st)
+			}
+			return nil, nil, st, err
+		}
+	}
+
+	dist := &semiring.Matrix{Rows: n, Cols: n, V: d}
+
+	// Successor repair: rebuild exactly the columns holding a NET
+	// changed entry — one O(n²) diff against prev, which is far cheaper
+	// than rebuilding every column the phases merely touched (on graphs
+	// with many tied shortest paths most recomputed entries land on
+	// their old value) — plus columns whose old successor chain crossed
+	// an edited edge (the distance may be unchanged while the stored
+	// pointer now disagrees with the new weight).
+	dirtyCol := make([]bool, n)
+	for x := 0; x < n; x++ {
+		row := d[x*n : (x+1)*n]
+		prow := prev.Dist.V[x*n : (x+1)*n]
+		for z, v := range row {
+			if v != prow[z] {
+				dirtyCol[z] = true
+			}
+		}
+	}
+	for _, d := range deltas {
+		for v := 0; v < n; v++ {
+			if nu := prev.next[d.u*n+v]; nu == int32(d.v) {
+				dirtyCol[v] = true
+			}
+			if nv := prev.next[d.v*n+v]; nv == int32(d.u) {
+				dirtyCol[v] = true
+			}
+		}
+	}
+	next := append([]int32(nil), prev.next...)
+	scratch := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if !dirtyCol[v] {
+			continue
+		}
+		if err := successorColumn(g2, dist, v, next, scratch); err != nil {
+			return nil, nil, st, fmt.Errorf("apsp: Repair: %w", err)
+		}
+		st.RepairedColumns++
+	}
+	return &PathResult{Dist: dist, n: n, next: next}, g2, st, nil
+}
+
+// errRepairDamage signals that the increase phase detected more damage
+// (or projected more work) than its thresholds allow; the caller
+// answers with repairFallback.
+var errRepairDamage = errors.New("apsp: repair damage threshold exceeded")
+
+// repairIncreases repairs d (exact for the graph carrying every
+// increased edge at its OLD weight — decreases already folded in) into
+// the exact distances of g2. It works in three steps:
+//
+//  1. Affected sources. A row x can only change if x's distance to an
+//     endpoint of some increased edge is tight through that edge at
+//     its old weight (a tight pair's endpoint prefix is itself tight),
+//     so the candidate rows are found in O(#increases · n). Every row
+//     OUTSIDE the set is provably final for g2: none of its shortest
+//     paths crosses an increased edge, so raising those edges changes
+//     nothing in it — and if a pair (y,x) changes, y is itself
+//     affected, so skipping unaffected rows loses no entries.
+//  2. Reset scan, restricted to affected rows: every pair whose
+//     distance is tight through an increased edge may now be too low.
+//     The tolerance deliberately over-marks ties; a spurious reset
+//     just gets recomputed to its old value in step 3.
+//  3. Boundary Dijkstra per damaged row. Within row a, every
+//     non-reset entry is final for g2 (same argument as step 1, per
+//     pair), so the reset targets S are rebuilt by a Dijkstra that
+//     settles ONLY vertices of S: each b ∈ S is seeded with the best
+//     step from a settled neighbour, min over {y ∉ S adjacent to b}
+//     of d(a,y)+w(y,b), and edges inside S propagate the rest. Any
+//     true shortest a→b path has a last vertex y outside S (possibly
+//     a itself); the seed covers the y→S crossing and the in-S
+//     relaxations cover the suffix, so the rebuilt values are exact.
+//     Cost: O(Σ_b∈S deg(b) + |S| log |S|) per row — independent of n,
+//     so rows whose resets are tie-induced false alarms cost almost
+//     nothing.
+//
+// Rows are repaired independently (each reads only its own settled
+// entries and edge weights), so the order is irrelevant. The boundary
+// Dijkstra requires non-negative weights; graphs carrying a negative
+// edge take the warm fallback instead (errRepairDamage), which
+// handles them exactly.
+func repairIncreases(g2 *graph.Graph, deltas []edgeDelta, d []float64, threshold float64, budget int64, st *RepairStats) error {
+	n := g2.N()
+
+	aff := make([]bool, n)
+	affRows := make([]int, 0, n)
+	for _, del := range deltas {
+		if del.new <= del.old {
+			continue
+		}
+		rowU := d[del.u*n : (del.u+1)*n]
+		rowV := d[del.v*n : (del.v+1)*n]
+		for x := 0; x < n; x++ {
+			if aff[x] {
+				continue
+			}
+			if tightSum(rowU[x]+del.old, rowV[x]) || tightSum(rowV[x]+del.old, rowU[x]) {
+				aff[x] = true
+				affRows = append(affRows, x)
+			}
+		}
+		st.Relaxations += int64(n)
+	}
+	st.AffectedRows = len(affRows)
+	if len(affRows) == 0 {
+		return nil
+	}
+
+	for u := 0; u < n; u++ {
+		for _, e := range g2.Adj(u) {
+			if e.W < 0 {
+				return errRepairDamage
+			}
+		}
+	}
+
+	st.Relaxations += int64(st.Increases) * int64(len(affRows)) * int64(n)
+	if st.Relaxations > budget {
+		return errRepairDamage
+	}
+	// Reset scan. The tightness test is tightSum inlined (exact match
+	// or within 1e-9 relative) — at #increases·|affected|·n probes the
+	// call overhead is the phase's hot spot.
+	reset := make([]bool, n*n)
+	rowResets := make([][]int32, n)
+	for _, del := range deltas {
+		if del.new <= del.old {
+			continue
+		}
+		rowU := d[del.u*n : (del.u+1)*n]
+		rowV := d[del.v*n : (del.v+1)*n]
+		for _, a := range affRows {
+			au := rowU[a] + del.old
+			av := rowV[a] + del.old
+			if math.IsInf(au, 1) && math.IsInf(av, 1) {
+				continue
+			}
+			drow := d[a*n : (a+1)*n]
+			rra := reset[a*n : (a+1)*n]
+			for b := 0; b < n; b++ {
+				if a == b || rra[b] {
+					continue
+				}
+				dab := drow[b]
+				if math.IsInf(dab, 1) {
+					continue
+				}
+				tol := 1e-9
+				if dab > 1 {
+					tol *= dab
+				} else if dab < -1 {
+					tol *= -dab
+				}
+				s1 := au + rowV[b] - dab
+				s2 := av + rowU[b] - dab
+				if (s1 <= tol && s1 >= -tol) || (s2 <= tol && s2 >= -tol) {
+					rra[b] = true
+					rowResets[a] = append(rowResets[a], int32(b))
+					st.ResetPairs++
+				}
+			}
+		}
+	}
+	st.DamageFraction = float64(st.ResetPairs) / float64(st.TotalPairs)
+	if st.DamageFraction > threshold {
+		return errRepairDamage
+	}
+
+	var h pairHeap
+	inS := make([]bool, n)
+	dist := make([]float64, n)
+	for a, S := range rowResets {
+		if len(S) == 0 {
+			continue
+		}
+		st.ResetRows++
+		row := d[a*n : (a+1)*n]
+		for _, b := range S {
+			inS[b] = true
+		}
+		h.d, h.v = h.d[:0], h.v[:0]
+		for _, b := range S {
+			adj := g2.Adj(int(b))
+			best := semiring.Inf
+			for _, e := range adj {
+				if !inS[e.To] {
+					if c := row[e.To] + e.W; c < best {
+						best = c
+					}
+				}
+			}
+			dist[b] = best
+			if !math.IsInf(best, 1) {
+				h.push(best, int(b))
+			}
+			st.Relaxations += int64(len(adj))
+		}
+		for len(h.d) > 0 {
+			dv, v := h.pop()
+			if dv > dist[v] {
+				continue
+			}
+			adj := g2.Adj(v)
+			for _, e := range adj {
+				if inS[e.To] {
+					if nd := dv + e.W; nd < dist[e.To] {
+						dist[e.To] = nd
+						h.push(nd, e.To)
+					}
+				}
+			}
+			st.Relaxations += int64(len(adj))
+		}
+		for _, b := range S {
+			inS[b] = false
+			if nv := dist[b]; nv != row[b] {
+				row[b] = nv
+				st.Writes++
+			}
+		}
+		if st.Relaxations > budget {
+			return errRepairDamage
+		}
+	}
+	return nil
+}
+
+// pairHeap is a small binary min-heap of (dist, vertex) pairs with
+// lazy deletion: a vertex may appear multiple times and stale entries
+// are skipped on pop. Used by the boundary Dijkstra row repair.
+type pairHeap struct {
+	d []float64
+	v []int32
+}
+
+func (h *pairHeap) push(dist float64, vtx int) {
+	h.d = append(h.d, dist)
+	h.v = append(h.v, int32(vtx))
+	i := len(h.d) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.d[p] <= h.d[i] {
+			break
+		}
+		h.d[p], h.d[i] = h.d[i], h.d[p]
+		h.v[p], h.v[i] = h.v[i], h.v[p]
+		i = p
+	}
+}
+
+func (h *pairHeap) pop() (float64, int) {
+	top, tv := h.d[0], h.v[0]
+	last := len(h.d) - 1
+	h.d[0], h.v[0] = h.d[last], h.v[last]
+	h.d, h.v = h.d[:last], h.v[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && h.d[l] < h.d[s] {
+			s = l
+		}
+		if r < last && h.d[r] < h.d[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.d[s], h.d[i] = h.d[i], h.d[s]
+		h.v[s], h.v[i] = h.v[i], h.v[s]
+		i = s
+	}
+	return top, int(tv)
+}
+
+// repairFallback is the over-threshold path: a warm Plan.Execute on
+// the edited graph plus full successor extraction — exactly what a
+// cache-warm re-solve through the registry would have done.
+func (pl *Plan) repairFallback(g2 *graph.Graph, opts RepairOptions, st *RepairStats) (*PathResult, *graph.Graph, RepairStats, error) {
+	st.FellBack = true
+	res, err := pl.ExecuteWith(pl.LayoutFor(g2), opts.Kernel, opts.Executor)
+	if err != nil {
+		return nil, nil, *st, err
+	}
+	pr, err := SuccessorsFromDist(g2, res.Dist)
+	if err != nil {
+		return nil, nil, *st, err
+	}
+	st.RepairedColumns = g2.N()
+	return pr, g2, *st, nil
+}
+
+// RepairWithOptions is the serving-layer entry point: fetch (or build
+// and cache) the symbolic plan for g exactly as SparseAPSPWith would,
+// then Repair prev against it. p must be a valid sparse machine size;
+// the plan cache in sopts.Plans makes repeated reweights of one
+// structure pay the symbolic cost once — usually zero times, since the
+// original solve already populated the cache.
+func RepairWithOptions(g *graph.Graph, prev *PathResult, edits []EdgeEdit, p int, sopts SparseOptions, threshold float64) (*PathResult, *graph.Graph, RepairStats, error) {
+	h, err := HeightForP(p)
+	if err != nil {
+		return nil, nil, RepairStats{}, err
+	}
+	var pl *Plan
+	if sopts.Plans != nil {
+		fp := StructureFingerprintOf(g, p, sopts.Seed, sopts.Wire, sopts.R4Strategy)
+		if cached, ok := sopts.Plans.lookup(fp); ok {
+			pl = cached
+		} else {
+			start := time.Now()
+			_, built, err := buildSymbolic(g, p, h, sopts)
+			if err != nil {
+				return nil, nil, RepairStats{}, err
+			}
+			sopts.Plans.store(fp, built, time.Since(start).Nanoseconds())
+			pl = built
+		}
+	} else {
+		_, pl, err = buildSymbolic(g, p, h, sopts)
+		if err != nil {
+			return nil, nil, RepairStats{}, err
+		}
+	}
+	return pl.Repair(g, prev, edits, RepairOptions{
+		DamageThreshold: threshold,
+		Kernel:          sopts.Kernel,
+		Executor:        sopts.Executor,
+	})
+}

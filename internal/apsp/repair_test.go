@@ -1,0 +1,286 @@
+package apsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparseapsp/internal/graph"
+)
+
+// solvePaths runs the sparse solver and extracts successors — the
+// from-scratch reference the repair path must match bit for bit.
+func solvePaths(t *testing.T, g *graph.Graph, p int, sopts SparseOptions) *PathResult {
+	t.Helper()
+	res, err := SparseAPSPWith(g, p, sopts)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	pr, err := SuccessorsFromDist(g, res.Dist)
+	if err != nil {
+		t.Fatalf("successors: %v", err)
+	}
+	return pr
+}
+
+// pickEdits draws k distinct edges and reweights them: kind "dec"
+// lowers each weight by 1 (possibly to 0), "inc" raises it by 1–5,
+// "mixed" alternates. Integer weights in, integer weights out, so every
+// path sum stays float64-exact and bit-identity is meaningful.
+func pickEdits(g *graph.Graph, rng *rand.Rand, k int, kind string) []EdgeEdit {
+	edges := g.Edges()
+	if k > len(edges) {
+		k = len(edges)
+	}
+	perm := rng.Perm(len(edges))
+	edits := make([]EdgeEdit, 0, k)
+	for i := 0; i < k; i++ {
+		e := edges[perm[i]]
+		up := kind == "inc" || (kind == "mixed" && i%2 == 1)
+		if up {
+			edits = append(edits, EdgeEdit{U: e.U, V: e.V, W: e.W + float64(rng.Intn(5)+1)})
+		} else {
+			edits = append(edits, EdgeEdit{U: e.U, V: e.V, W: e.W - 1})
+		}
+	}
+	return edits
+}
+
+// TestRepairMatchesWarmExecute is the tentpole property test: across
+// graph families, both wire formats and all edit mixes, Repair's
+// distances are bit-identical to a from-scratch warm solve of the
+// edited graph, the repaired successor structure passes VerifyPaths,
+// and the previous result is left untouched (the registry serves it
+// concurrently while the swap is in flight).
+func TestRepairMatchesWarmExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+		p    int
+	}{
+		{"grid", graph.Grid2D(9, 9, integerWeights(rng, 10)), 9},
+		{"gnp", graph.RandomGNP(70, 0.08, integerWeights(rng, 5), rng), 9},
+		{"tree", graph.RandomTree(90, integerWeights(rng, 7), rng), 49},
+		{"rmat", graph.RMAT(6, 3, integerWeights(rng, 4), rng), 9},
+		{"star", graph.Star(60, integerWeights(rng, 3)), 9},
+	}
+	for _, tc := range graphs {
+		for _, wire := range []WireFormat{WirePacked, WireDense} {
+			sopts := SparseOptions{Seed: 11, Wire: wire, Plans: NewPlanCache()}
+			prev := solvePaths(t, tc.g, tc.p, sopts)
+			prevDist := prev.Dist.Clone()
+			for _, kind := range []string{"dec", "inc", "mixed"} {
+				k := tc.g.M() / 20
+				if k < 1 {
+					k = 1
+				}
+				edits := pickEdits(tc.g, rng, k, kind)
+				got, g2, st, err := RepairWithOptions(tc.g, prev, edits, tc.p, sopts, 0)
+				if err != nil {
+					t.Fatalf("%s/%v/%s: repair: %v", tc.name, wire, kind, err)
+				}
+				want := solvePaths(t, g2, tc.p, sopts)
+				if !identicalMatrices(got.Dist, want.Dist) {
+					t.Errorf("%s/%v/%s: repaired distances differ from warm re-solve (stats %+v)", tc.name, wire, kind, st)
+				}
+				if err := VerifyPaths(g2, got); err != nil {
+					t.Errorf("%s/%v/%s: repaired successors invalid: %v", tc.name, wire, kind, err)
+				}
+				if !identicalMatrices(prev.Dist, prevDist) {
+					t.Fatalf("%s/%v/%s: Repair mutated the previous result", tc.name, wire, kind)
+				}
+				if st.Edits == 0 || st.Edits != st.Decreases+st.Increases {
+					t.Errorf("%s/%v/%s: inconsistent stats %+v", tc.name, wire, kind, st)
+				}
+				if kind == "dec" && st.Increases != 0 {
+					t.Errorf("%s/%v/%s: decrease-only edits recorded %d increases", tc.name, wire, kind, st.Increases)
+				}
+			}
+			// The original solve populated the plan cache; the repairs
+			// must have reused it instead of rebuilding the symbolic
+			// phase (the whole point of repairing in place).
+			if s := sopts.Plans.Stats(); s.Builds != 1 {
+				t.Errorf("%s/%v: plan cache built %d times, want 1", tc.name, wire, s.Builds)
+			}
+		}
+	}
+}
+
+// TestRepairFallback forces the damage threshold to zero-ish so every
+// repair falls back to the warm Execute, and checks the fallback is
+// just as exact and flagged in the stats.
+func TestRepairFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Grid2D(9, 9, integerWeights(rng, 10))
+	const p = 9
+	sopts := SparseOptions{Seed: 5, Plans: NewPlanCache()}
+	prev := solvePaths(t, g, p, sopts)
+	edits := pickEdits(g, rng, 6, "mixed")
+
+	got, g2, st, err := RepairWithOptions(g, prev, edits, p, sopts, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FellBack {
+		t.Fatalf("threshold 1e-9 did not trigger fallback (stats %+v)", st)
+	}
+	want := solvePaths(t, g2, p, sopts)
+	if !identicalMatrices(got.Dist, want.Dist) {
+		t.Error("fallback distances differ from warm re-solve")
+	}
+	if err := VerifyPaths(g2, got); err != nil {
+		t.Errorf("fallback successors invalid: %v", err)
+	}
+
+	// Threshold >= 1 must never fall back, even for heavy edits.
+	heavy := pickEdits(g, rng, g.M()/2, "mixed")
+	_, _, st2, err := RepairWithOptions(g, prev, heavy, p, sopts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FellBack {
+		t.Errorf("threshold 2 fell back anyway (stats %+v)", st2)
+	}
+}
+
+// TestRepairEditValidation pins the error behavior: edits must name
+// existing edges with finite non-negative weights, and ApplyEdits
+// shares the exact same validation (the registry fingerprints the
+// edited graph before repairing, so both must agree on what's legal).
+func TestRepairEditValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Grid2D(5, 5, integerWeights(rng, 10))
+	const p = 9
+	prev := solvePaths(t, g, p, SparseOptions{Seed: 1})
+
+	bad := [][]EdgeEdit{
+		{{U: 0, V: 24, W: 3}},                    // not an edge
+		{{U: 0, V: 0, W: 3}},                     // self-loop
+		{{U: -1, V: 1, W: 3}},                    // out of range
+		{{U: 0, V: 25, W: 3}},                    // out of range
+		{{U: 0, V: 1, W: -2}},                    // negative weight
+		{{U: 0, V: 1, W: math.NaN()}},            // NaN
+		{{U: 0, V: 1, W: math.Inf(1)}},           // Inf (would delete the edge)
+		{{U: 0, V: 1, W: 2}, {U: 5, V: 7, W: 1}}, // second edit bad, first fine
+	}
+	for i, edits := range bad {
+		if _, _, _, err := RepairWithOptions(g, prev, edits, p, SparseOptions{Seed: 1}, 0); err == nil {
+			t.Errorf("case %d: Repair accepted invalid edits %+v", i, edits)
+		}
+		if _, err := ApplyEdits(g, edits); err == nil {
+			t.Errorf("case %d: ApplyEdits accepted invalid edits %+v", i, edits)
+		}
+	}
+
+	// Duplicate edits: the last write wins, matching ApplyEdits.
+	w01, _ := g.HasEdge(0, 1)
+	dup := []EdgeEdit{{U: 0, V: 1, W: w01 + 4}, {U: 1, V: 0, W: w01 + 2}}
+	got, g2, st, err := RepairWithOptions(g, prev, dup, p, SparseOptions{Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g2.HasEdge(0, 1); w != w01+2 {
+		t.Errorf("duplicate edits: edge {0,1} weight %g, want last write %g", w, w01+2)
+	}
+	if st.Edits != 1 {
+		t.Errorf("duplicate edits collapsed to %d deltas, want 1", st.Edits)
+	}
+	want := solvePaths(t, g2, p, SparseOptions{Seed: 1})
+	if !identicalMatrices(got.Dist, want.Dist) {
+		t.Error("duplicate-edit repair differs from re-solve")
+	}
+
+	// No-op edits (same weight) repair to an identical, non-aliased copy.
+	noop := []EdgeEdit{{U: 0, V: 1, W: w01}}
+	got2, _, st2, err := RepairWithOptions(g, prev, noop, p, SparseOptions{Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Edits != 0 {
+		t.Errorf("no-op edit counted as %d edits", st2.Edits)
+	}
+	if !identicalMatrices(got2.Dist, prev.Dist) {
+		t.Error("no-op repair changed distances")
+	}
+	if &got2.Dist.V[0] == &prev.Dist.V[0] || &got2.next[0] == &prev.next[0] {
+		t.Error("no-op repair aliased the previous result's storage")
+	}
+}
+
+// TestRepairZeroWeightEdges exercises the awkward corner the tight-edge
+// successor walk exists for: decreases down to weight 0 create
+// zero-weight cycles in the tight-edge graph, and increases from 0 make
+// previously free detours cost real weight.
+func TestRepairZeroWeightEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := graph.Grid2D(7, 7, integerWeights(rng, 3))
+	const p = 9
+	sopts := SparseOptions{Seed: 2, Plans: NewPlanCache()}
+	prev := solvePaths(t, g, p, sopts)
+
+	edges := g.Edges()
+	var edits []EdgeEdit
+	for i := 0; i < 8 && i < len(edges); i++ {
+		edits = append(edits, EdgeEdit{U: edges[i].U, V: edges[i].V, W: 0})
+	}
+	got, g2, _, err := RepairWithOptions(g, prev, edits, p, sopts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solvePaths(t, g2, p, sopts)
+	if !identicalMatrices(got.Dist, want.Dist) {
+		t.Error("zero-weight decreases: distances differ from re-solve")
+	}
+	if err := VerifyPaths(g2, got); err != nil {
+		t.Errorf("zero-weight decreases: %v", err)
+	}
+
+	// Now raise them back up from zero.
+	var back []EdgeEdit
+	for _, e := range edits {
+		back = append(back, EdgeEdit{U: e.U, V: e.V, W: 5})
+	}
+	got2, g3, st, err := RepairWithOptions(g2, got, back, p, sopts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Increases != len(back) {
+		t.Errorf("raising %d zero edges recorded %d increases", len(back), st.Increases)
+	}
+	want2 := solvePaths(t, g3, p, sopts)
+	if !identicalMatrices(got2.Dist, want2.Dist) {
+		t.Error("increases from zero: distances differ from re-solve")
+	}
+	if err := VerifyPaths(g3, got2); err != nil {
+		t.Errorf("increases from zero: %v", err)
+	}
+}
+
+// TestRepairChain applies many small edit batches sequentially, each
+// repair feeding the next — the registry's actual usage pattern — and
+// checks the final state never drifts from a from-scratch solve.
+func TestRepairChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	g := graph.RandomGNP(60, 0.1, integerWeights(rng, 9), rng)
+	const p = 9
+	sopts := SparseOptions{Seed: 17, Plans: NewPlanCache()}
+	cur := g
+	prev := solvePaths(t, g, p, sopts)
+	for round := 0; round < 6; round++ {
+		kind := []string{"dec", "inc", "mixed"}[round%3]
+		edits := pickEdits(cur, rng, 3, kind)
+		next, g2, _, err := RepairWithOptions(cur, prev, edits, p, sopts, 0)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cur, prev = g2, next
+	}
+	want := solvePaths(t, cur, p, sopts)
+	if !identicalMatrices(prev.Dist, want.Dist) {
+		t.Error("chained repairs drifted from the from-scratch solve")
+	}
+	if err := VerifyPaths(cur, prev); err != nil {
+		t.Errorf("chained repairs: %v", err)
+	}
+}

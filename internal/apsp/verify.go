@@ -74,3 +74,52 @@ func VerifyDistances(g *graph.Graph, d *semiring.Matrix) error {
 	}
 	return nil
 }
+
+// VerifyPaths certifies that res's successor structure is consistent
+// with its distance matrix on g: every reachable pair yields a
+// well-formed path (right endpoints, existing edges, acyclic walk)
+// whose edge-weight sum equals the stored distance, and every
+// unreachable pair yields no path. It is the path-level counterpart of
+// VerifyDistances, used to check repaired oracles against the graphs
+// they now serve. Cost is O(n² · average path length).
+func VerifyPaths(g *graph.Graph, res *PathResult) error {
+	n := g.N()
+	if res == nil || res.n != n || res.Dist == nil || res.Dist.Rows != n || res.Dist.Cols != n {
+		return fmt.Errorf("apsp: VerifyPaths: result does not cover %d vertices", n)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			duv := res.Dist.At(u, v)
+			if res.next[u*n+v] == -1 {
+				if !math.IsInf(duv, 1) {
+					return fmt.Errorf("apsp: VerifyPaths: d(%d,%d)=%g but no successor", u, v, duv)
+				}
+				continue
+			}
+			if math.IsInf(duv, 1) {
+				return fmt.Errorf("apsp: VerifyPaths: successor stored for unreachable pair (%d,%d)", u, v)
+			}
+			// Walk the successor chain without Path's panic-on-cycle.
+			sum, cur, hops := 0.0, u, 0
+			for cur != v {
+				nxt := int(res.next[cur*n+v])
+				if nxt < 0 {
+					return fmt.Errorf("apsp: VerifyPaths: successor chain (%d,%d) breaks at %d", u, v, cur)
+				}
+				w, ok := g.HasEdge(cur, nxt)
+				if !ok {
+					return fmt.Errorf("apsp: VerifyPaths: successor step %d→%d of pair (%d,%d) is not an edge", cur, nxt, u, v)
+				}
+				sum += w
+				cur = nxt
+				if hops++; hops > n {
+					return fmt.Errorf("apsp: VerifyPaths: successor chain (%d,%d) is cyclic", u, v)
+				}
+			}
+			if !tightSum(sum, duv) {
+				return fmt.Errorf("apsp: VerifyPaths: path weight %g for pair (%d,%d) does not match d=%g", sum, u, v, duv)
+			}
+		}
+	}
+	return nil
+}

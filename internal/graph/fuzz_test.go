@@ -40,13 +40,81 @@ func FuzzReadMETIS(f *testing.F) {
 	f.Add("3 2\n2 3\n1\n1\n")
 	f.Add("2 1 1\n2 4.5\n1 4.5\n")
 	f.Add("0 0\n")
+	f.Add("1 0\n\n")               // isolated vertex = blank vertex line
+	f.Add("2 1 1\n2 NaN\n1 NaN\n") // non-finite weights must be rejected
+	f.Add("1 1\n1 1\n")            // self-loop must be rejected, not miscounted
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadMETIS(strings.NewReader(input))
 		if err != nil {
 			return
 		}
 		checkParsedGraph(t, g)
+		// Every accepted graph must survive Write→Read unchanged: the
+		// writer emits one line per vertex (blank for isolated ones) and
+		// %g weights, all of which the reader must take back verbatim.
+		var buf bytes.Buffer
+		if err := g.WriteMETIS(&buf); err != nil {
+			t.Fatalf("WriteMETIS failed on accepted graph: %v", err)
+		}
+		back, err := ReadMETIS(&buf)
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v", err)
+		}
+		if !sameGraph(g, back) {
+			t.Fatalf("METIS round-trip changed the graph")
+		}
 	})
+}
+
+// FuzzMETISRoundTrip drives the round-trip from the graph side: build
+// an arbitrary valid graph from fuzzed bytes, write it, read it back,
+// compare edge-exactly. This is the direction that caught the
+// isolated-vertex bug (the reader used to skip the writer's blank
+// vertex lines, shifting every later adjacency list by one vertex).
+func FuzzMETISRoundTrip(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 3})
+	f.Add(uint8(5), []byte{})           // all isolated
+	f.Add(uint8(4), []byte{0, 1, 0, 1}) // duplicate edges collapse
+	f.Add(uint8(7), []byte{1, 2, 200, 9, 0, 6})
+	f.Fuzz(func(t *testing.T, n uint8, pairs []byte) {
+		nv := int(n%32) + 1
+		g := New(nv)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			u, v := int(pairs[i])%nv, int(pairs[i+1])%nv
+			if u != v {
+				// Weight from the byte stream, kept finite and varied
+				// (including fractional values %g must preserve).
+				g.AddEdge(u, v, float64(pairs[i])/4)
+			}
+		}
+		var buf bytes.Buffer
+		if err := g.WriteMETIS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadMETIS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading written graph %q: %v", buf.String(), err)
+		}
+		checkParsedGraph(t, back)
+		if !sameGraph(g, back) {
+			t.Fatalf("round-trip changed the graph:\n%s", buf.String())
+		}
+	})
+}
+
+// sameGraph compares two graphs edge-exactly (same vertex count, same
+// undirected edge set, identical weights).
+func sameGraph(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // checkParsedGraph verifies adjacency symmetry and bounds.

@@ -79,6 +79,31 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 	g.m++
 }
 
+// SetEdge overwrites the weight of the existing undirected edge {u, v}
+// (both half-edges), reporting whether the edge was found. Unlike
+// AddEdge it can raise a weight, but it never changes the edge
+// structure — the contract the incremental reweighting path relies on.
+func (g *Graph) SetEdge(u, v int, w float64) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	if !g.setHalf(u, v, w) {
+		return false
+	}
+	g.setHalf(v, u, w)
+	return true
+}
+
+func (g *Graph) setHalf(u, v int, w float64) bool {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			g.adj[u][i].W = w
+			return true
+		}
+	}
+	return false
+}
+
 // relaxHalf lowers the weight of the existing half-edge u→v to w if it
 // exists, reporting whether it was found.
 func (g *Graph) relaxHalf(u, v int, w float64) bool {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -45,22 +46,33 @@ func (g *Graph) WriteMETIS(w io.Writer) error {
 
 // ReadMETIS parses a METIS graph file. Asymmetric weight declarations
 // are collapsed to the minimum, matching AddEdge semantics.
+//
+// Comment lines (leading '%') may appear anywhere. Blank lines before
+// the header are skipped, but within the vertex section a blank line IS
+// a vertex line — the empty adjacency list of an isolated vertex,
+// exactly what WriteMETIS emits — so Write→Read round-trips graphs with
+// isolated vertices. Self-loops and non-finite weights are rejected
+// explicitly (the solvers define neither).
 func ReadMETIS(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	line := 0
-	next := func() (string, bool) {
+	// scanLine returns the next non-comment line, blank lines included.
+	scanLine := func() (string, bool) {
 		for sc.Scan() {
 			line++
 			text := strings.TrimSpace(sc.Text())
-			if text == "" || strings.HasPrefix(text, "%") {
+			if strings.HasPrefix(text, "%") {
 				continue
 			}
 			return text, true
 		}
 		return "", false
 	}
-	header, ok := next()
+	header, ok := scanLine()
+	for ok && header == "" {
+		header, ok = scanLine()
+	}
 	if !ok {
 		return nil, fmt.Errorf("graph: metis: missing header")
 	}
@@ -89,11 +101,11 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 	}
 	g := New(n)
 	for v := 0; v < n; v++ {
-		text, ok := next()
+		text, ok := scanLine()
 		if !ok {
 			return nil, fmt.Errorf("graph: metis: expected %d vertex lines, got %d", n, v)
 		}
-		parts := strings.Fields(text)
+		parts := strings.Fields(text) // empty for an isolated vertex
 		step := 1
 		if weighted {
 			step = 2
@@ -106,11 +118,16 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			if err != nil || u < 1 || u > n {
 				return nil, fmt.Errorf("graph: metis line %d: bad neighbour %q", line, parts[i])
 			}
+			if u-1 == v {
+				// AddEdge would drop it silently and the edge-count
+				// check below would then fail with a misleading message.
+				return nil, fmt.Errorf("graph: metis line %d: self-loop on vertex %d not supported", line, u)
+			}
 			w := 1.0
 			if weighted {
 				w, err = strconv.ParseFloat(parts[i+1], 64)
-				if err != nil {
-					return nil, fmt.Errorf("graph: metis line %d: bad weight %q", line, parts[i+1])
+				if err != nil || math.IsNaN(w) || math.IsInf(w, 0) {
+					return nil, fmt.Errorf("graph: metis line %d: bad weight %q (must be finite)", line, parts[i+1])
 				}
 			}
 			g.AddEdge(v, u-1, w)

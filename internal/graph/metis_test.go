@@ -88,3 +88,71 @@ func TestMETISEmptyGraph(t *testing.T) {
 		t.Errorf("n = %d", g.N())
 	}
 }
+
+// TestMETISIsolatedVertices: WriteMETIS emits a blank line for a vertex
+// with no neighbours, and ReadMETIS must consume it as that vertex's
+// (empty) adjacency list — not skip it and misalign the whole section.
+func TestMETISIsolatedVertices(t *testing.T) {
+	g := New(5)
+	g.AddEdge(1, 3, 2.5)
+	g.AddEdge(3, 4, 1) // vertices 0 and 2 stay isolated
+	var buf bytes.Buffer
+	if err := g.WriteMETIS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMETIS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading %q: %v", buf.String(), err)
+	}
+	if back.N() != 5 || back.M() != 2 {
+		t.Fatalf("round-trip n=%d m=%d, want 5/2", back.N(), back.M())
+	}
+	if w, ok := back.HasEdge(1, 3); !ok || w != 2.5 {
+		t.Errorf("edge {1,3} w=%v ok=%v, want 2.5 — vertex section misaligned", w, ok)
+	}
+	if back.Degree(0) != 0 || back.Degree(2) != 0 {
+		t.Error("isolated vertices grew edges")
+	}
+
+	// Hand-written file: blank line = isolated vertex, comments still
+	// skipped anywhere, blank lines before the header ignored.
+	in := "\n% leading comment\n3 1 1\n\n% interleaved comment\n3 7\n2 7\n"
+	h, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Degree(0) != 0 {
+		t.Error("blank vertex line not treated as isolated vertex")
+	}
+	if w, ok := h.HasEdge(1, 2); !ok || w != 7 {
+		t.Errorf("edge {1,2} w=%v ok=%v, want 7", w, ok)
+	}
+}
+
+// TestMETISRejectsSelfLoopsAndNonFiniteWeights: both used to slip
+// through — self-loops were dropped silently (surfacing later as a
+// baffling edge-count mismatch) and NaN/Inf weights parsed fine only to
+// poison every distance they touched.
+func TestMETISRejectsSelfLoopsAndNonFiniteWeights(t *testing.T) {
+	bad := []string{
+		"2 2\n1 2\n1\n",           // self-loop on vertex 1
+		"1 1\n1\n",                // pure self-loop
+		"2 1 1\n2 NaN\n1 NaN\n",   // NaN weight
+		"2 1 1\n2 Inf\n1 Inf\n",   // +Inf weight
+		"2 1 1\n2 -Inf\n1 -Inf\n", // -Inf weight
+	}
+	for _, s := range bad {
+		if _, err := ReadMETIS(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadMETIS(%q) succeeded, want error", s)
+		}
+	}
+	// Negative finite weights stay legal (the graph type permits them
+	// as long as no negative cycle exists).
+	g, err := ReadMETIS(strings.NewReader("2 1 1\n2 -3\n1 -3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.HasEdge(0, 1); w != -3 {
+		t.Errorf("negative weight = %v, want -3", w)
+	}
+}

@@ -510,6 +510,156 @@ func ExecutorComparison(cfg Config, reps int) (*Table, error) {
 	return t, nil
 }
 
+// ReweightAblation runs experiment E20: incremental repair against the
+// warm re-solve it replaces. Each family is solved once (populating the
+// plan cache), then a fraction of its edges is reweighted and the same
+// PathResult is produced two ways: Plan.Repair (decrease propagation +
+// increase resets + dirty-column successor rebuild) and the warm
+// serving path it shortcuts (Plan.LayoutFor + ExecuteWith + full
+// SuccessorsFromDist). Weights are integers, so path sums are
+// float64-exact and the two results must match bit-for-bit — asserted
+// before anything is timed.
+func ReweightAblation(cfg Config, n, p, reps int) (*Table, error) {
+	t := &Table{
+		ID: "E20",
+		Title: fmt.Sprintf("incremental reweight repair vs warm re-solve at n=%d, p=%d (best of %d)",
+			n, p, reps),
+		Columns: []string{"workload", "n", "m", "edits", "edit_%", "reset_pairs",
+			"damage", "repair_ms", "resolve_ms", "speedup"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	iw := func(u, v int) float64 { return float64(rng.Intn(9) + 1) }
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star", graph.Star(n, iw)},
+		{"tree", graph.RandomTree(n, iw, rng)},
+		{"grid", gridOfN(n, iw)},
+	}
+	fractions := []float64{0.001, 0.01, 0.10}
+	for _, wl := range workloads {
+		cache := apsp.NewPlanCache()
+		opts := cfg.sparseOpts()
+		opts.Plans = cache
+		sp, err := apsp.SparseAPSPWith(wl.g, p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("reweight %s: cold solve: %w", wl.name, err)
+		}
+		prev, err := apsp.SuccessorsFromDist(wl.g, sp.Dist)
+		if err != nil {
+			return nil, fmt.Errorf("reweight %s: successors: %w", wl.name, err)
+		}
+		pl := cachedPlan(cache, wl.g, p, opts)
+		if pl == nil {
+			return nil, fmt.Errorf("reweight %s: cold solve did not cache its plan", wl.name)
+		}
+		ropts := apsp.RepairOptions{
+			DamageThreshold: apsp.DefaultDamageThreshold,
+			Kernel:          cfg.Kernel,
+			Executor:        cfg.Executor,
+		}
+		for _, frac := range fractions {
+			m := wl.g.M()
+			k := int(frac*float64(m) + 0.5)
+			if k < 1 {
+				k = 1
+			}
+			edits := reweightEdits(wl.g, rng, k)
+			g2, err := apsp.ApplyEdits(wl.g, edits)
+			if err != nil {
+				return nil, fmt.Errorf("reweight %s: %w", wl.name, err)
+			}
+
+			// Correctness gate before any timing: the repaired result
+			// must be bit-identical to the warm re-solve and its
+			// successor chains must replay every distance.
+			repaired, _, stats, err := pl.Repair(wl.g, prev, edits, ropts)
+			if err != nil {
+				return nil, fmt.Errorf("reweight %s: repair: %w", wl.name, err)
+			}
+			ref, err := pl.ExecuteWith(pl.LayoutFor(g2), cfg.Kernel, cfg.Executor)
+			if err != nil {
+				return nil, fmt.Errorf("reweight %s: re-solve: %w", wl.name, err)
+			}
+			if !sameDistBits(repaired.Dist, ref.Dist) {
+				return nil, fmt.Errorf("reweight %s k=%d: repair diverges from warm re-solve", wl.name, k)
+			}
+			if err := apsp.VerifyPaths(g2, repaired); err != nil {
+				return nil, fmt.Errorf("reweight %s k=%d: repaired successors: %w", wl.name, k, err)
+			}
+
+			repairMs := math.Inf(1)
+			for i := 0; i <= reps; i++ { // one extra warm-up rep, not timed
+				start := time.Now()
+				if _, _, _, err := pl.Repair(wl.g, prev, edits, ropts); err != nil {
+					return nil, err
+				}
+				if d := float64(time.Since(start).Nanoseconds()) / 1e6; i > 0 && d < repairMs {
+					repairMs = d
+				}
+			}
+			resolveMs := math.Inf(1)
+			for i := 0; i <= reps; i++ {
+				start := time.Now()
+				res, err := pl.ExecuteWith(pl.LayoutFor(g2), cfg.Kernel, cfg.Executor)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := apsp.SuccessorsFromDist(g2, res.Dist); err != nil {
+					return nil, err
+				}
+				if d := float64(time.Since(start).Nanoseconds()) / 1e6; i > 0 && d < resolveMs {
+					resolveMs = d
+				}
+			}
+			damage := fmt.Sprintf("%.4f", stats.DamageFraction)
+			if stats.FellBack {
+				damage += "*"
+			}
+			t.Add(wl.name, wl.g.N(), m, k, 100*float64(k)/float64(m), stats.ResetPairs,
+				damage, repairMs, resolveMs, resolveMs/repairMs)
+		}
+	}
+	t.Note("every row is bit-identical to the warm re-solve before timing (integer weights,")
+	t.Note("float64-exact sums); damage is the seeded share of the n² pairs, * = the repair")
+	t.Note("crossed a threshold and fell back to the warm path it is measured against")
+	return t, nil
+}
+
+// reweightEdits picks k distinct edges of g and gives each a fresh
+// integer weight different from its current one — a mixed
+// increase/decrease reweighting workload.
+func reweightEdits(g *graph.Graph, rng *rand.Rand, k int) []apsp.EdgeEdit {
+	es := g.Edges()
+	if k > len(es) {
+		k = len(es)
+	}
+	edits := make([]apsp.EdgeEdit, 0, k)
+	for _, i := range rng.Perm(len(es))[:k] {
+		e := es[i]
+		w := float64(rng.Intn(9) + 1)
+		for w == e.W {
+			w = float64(rng.Intn(9) + 1)
+		}
+		edits = append(edits, apsp.EdgeEdit{U: e.U, V: e.V, W: w})
+	}
+	return edits
+}
+
+// sameDistBits compares two distance matrices bit-for-bit.
+func sameDistBits(a, b *semiring.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.V {
+		if math.Float64bits(v) != math.Float64bits(b.V[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // OperationCounts runs experiment E12 plus the Lemma 6.4 check:
 // SuperFW's computation-avoiding operation count against classical n³
 // and the Ω(n²|S|) lower bound.

@@ -28,6 +28,10 @@ type queryCounters struct {
 type Oracle struct {
 	res  *apsp.PathResult
 	pool *semiring.Pool
+	// graph is the graph the result was solved for. Oracles built
+	// through New (and so through a Registry) retain it; the registry's
+	// Reweight path needs it to apply edge edits. Never mutated.
+	graph *graph.Graph
 
 	counters queryCounters
 	// shared, when set, receives every update counters gets. A registry
@@ -50,7 +54,9 @@ func New(g *graph.Graph, solve SolveFunc, pool *semiring.Pool) (*Oracle, error) 
 	if err != nil {
 		return nil, err
 	}
-	return FromResult(res, pool), nil
+	o := FromResult(res, pool)
+	o.graph = g
+	return o, nil
 }
 
 // FromResult wraps an already-solved PathResult in an Oracle without
@@ -64,6 +70,11 @@ func FromResult(res *apsp.PathResult, pool *semiring.Pool) *Oracle {
 
 // N returns the number of vertices; valid query endpoints are [0, N).
 func (o *Oracle) N() int { return o.res.N() }
+
+// Graph returns the graph the oracle was solved for, or nil for an
+// oracle wrapped directly around a bare PathResult. Callers must not
+// modify it.
+func (o *Oracle) Graph() *graph.Graph { return o.graph }
 
 // MemoryBytes estimates the retained size of the solved result.
 func (o *Oracle) MemoryBytes() int64 { return o.res.MemoryBytes() }

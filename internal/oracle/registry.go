@@ -11,10 +11,24 @@ import (
 	"sparseapsp/internal/semiring"
 )
 
+// RepairFunc incrementally repairs a solved result after edge-weight
+// edits, returning the repaired result, the edited graph it is valid
+// for, and what the repair did. The root package supplies one that
+// routes through apsp.RepairWithOptions with the registry's own plan
+// cache.
+type RepairFunc func(g *graph.Graph, prev *apsp.PathResult, edits []apsp.EdgeEdit) (*apsp.PathResult, *graph.Graph, apsp.RepairStats, error)
+
+// ErrUnknownGraph is returned by Reweight when the fingerprint names no
+// cached oracle (never loaded, or already evicted).
+var ErrUnknownGraph = fmt.Errorf("oracle: unknown graph fingerprint")
+
 // Config configures a Registry.
 type Config struct {
 	// Solve runs the underlying APSP solver; required.
 	Solve SolveFunc
+	// Repair, when non-nil, enables Registry.Reweight: small weight
+	// edits are repaired from the cached result instead of re-solved.
+	Repair RepairFunc
 	// MemoryBudget bounds the total MemoryBytes of retained oracles;
 	// <= 0 means unlimited. The most recently used oracle is never
 	// evicted, so one oracle larger than the budget is still served
@@ -44,11 +58,14 @@ type Registry struct {
 	lru     *list.List // front = most recently used; solved entries only
 	bytes   int64      // sum of MemoryBytes over solved entries
 
-	solves     int64
-	hits       int64
-	misses     int64
-	evictions  int64
-	solveNanos int64
+	solves          int64
+	hits            int64
+	misses          int64
+	evictions       int64
+	solveNanos      int64
+	reweights       int64
+	repairNanos     int64
+	repairFallbacks int64
 	// queries is shared with every oracle this registry creates, so the
 	// totals stay cumulative across evictions and keep counting queries
 	// that were in flight when their oracle was evicted.
@@ -87,10 +104,8 @@ func (r *Registry) Get(g *graph.Graph) (*Oracle, error) {
 
 	r.mu.Lock()
 	if e, ok := r.entries[fp]; ok {
-		r.hits++
-		r.touchLocked(e)
 		r.mu.Unlock()
-		<-e.ready
+		r.recordWait(e)
 		return e.oracle, e.err
 	}
 	r.misses++
@@ -122,20 +137,142 @@ func (r *Registry) Get(g *graph.Graph) (*Oracle, error) {
 
 // Lookup returns the cached oracle for an already-registered
 // fingerprint, waiting out an in-flight solve. ok is false when the
-// fingerprint has never been loaded (or was evicted).
-func (r *Registry) Lookup(fp Fingerprint) (o *Oracle, err error, ok bool) {
+// fingerprint has never been loaded (or was evicted); err carries the
+// solve failure when ok is true but no oracle exists.
+func (r *Registry) Lookup(fp Fingerprint) (o *Oracle, ok bool, err error) {
 	r.mu.Lock()
 	e, found := r.entries[fp]
 	if !found {
 		r.misses++
 		r.mu.Unlock()
-		return nil, nil, false
+		return nil, false, nil
 	}
-	r.hits++
-	r.touchLocked(e)
 	r.mu.Unlock()
+	r.recordWait(e)
+	return e.oracle, true, e.err
+}
+
+// recordWait waits out an entry's solve and then records the outcome:
+// only a successful solve counts as a hit (and refreshes the LRU
+// position); waiting on a solve that fails is a miss — the entry is
+// already gone from the map and the next Get will retry it. Counting
+// before the wait would register failed solves as cache hits and touch
+// the LRU for an entry that never becomes evictable.
+func (r *Registry) recordWait(e *entry) {
 	<-e.ready
-	return e.oracle, e.err, true
+	r.mu.Lock()
+	if e.err == nil {
+		r.hits++
+		r.touchLocked(e)
+	} else {
+		r.misses++
+	}
+	r.mu.Unlock()
+}
+
+// Reweight applies edge-weight edits to the cached oracle for fp and
+// installs the repaired oracle under the edited graph's fingerprint,
+// atomically replacing the old entry — after Reweight returns, fp no
+// longer serves and newFp does, with no window in which stale distances
+// answer queries under the new fingerprint. The repair itself runs
+// outside the registry lock (queries on the old oracle proceed
+// throughout) and falls back to a warm re-solve internally when the
+// edit damage is too large; either way the result is exact for the
+// edited graph.
+//
+// Edits may only reweight existing edges (see apsp.EdgeEdit). If the
+// edits are a no-op (every weight unchanged), the old oracle is
+// returned under its old fingerprint. Concurrent Reweights toward the
+// same edited graph coalesce like Gets do.
+func (r *Registry) Reweight(fp Fingerprint, edits []apsp.EdgeEdit) (Fingerprint, *Oracle, apsp.RepairStats, error) {
+	var zero apsp.RepairStats
+	if r.cfg.Repair == nil {
+		return fp, nil, zero, fmt.Errorf("oracle: registry has no repair function")
+	}
+	r.mu.Lock()
+	e, found := r.entries[fp]
+	r.mu.Unlock()
+	if !found {
+		return fp, nil, zero, fmt.Errorf("%w: %s", ErrUnknownGraph, fp)
+	}
+	r.recordWait(e)
+	if e.err != nil {
+		return fp, nil, zero, e.err
+	}
+	old := e.oracle
+	g := old.Graph()
+	if g == nil {
+		return fp, nil, zero, fmt.Errorf("oracle: cached oracle for %s retains no graph", fp)
+	}
+
+	// Fingerprint the edited graph first: it decides the new cache key,
+	// validates the edits, and detects no-ops before any numeric work.
+	g2, err := apsp.ApplyEdits(g, edits)
+	if err != nil {
+		return fp, nil, zero, err
+	}
+	newFp := FingerprintOf(g2)
+	if newFp == fp {
+		return fp, old, zero, nil
+	}
+
+	r.mu.Lock()
+	if e2, ok := r.entries[newFp]; ok {
+		// The edited graph is already cached or being produced (a
+		// concurrent Reweight or a direct Get). Reuse it; the old entry
+		// still must stop serving.
+		r.removeLocked(e)
+		r.mu.Unlock()
+		r.recordWait(e2)
+		return newFp, e2.oracle, zero, e2.err
+	}
+	e2 := &entry{fp: newFp, ready: make(chan struct{})}
+	r.entries[newFp] = e2
+	r.mu.Unlock()
+
+	start := time.Now()
+	res, g2, st, err := r.cfg.Repair(g, old.res, edits)
+	elapsed := time.Since(start).Nanoseconds()
+
+	var o2 *Oracle
+	r.mu.Lock()
+	r.reweights++
+	r.repairNanos += elapsed
+	if st.FellBack {
+		r.repairFallbacks++
+	}
+	if err != nil {
+		e2.err = err
+		delete(r.entries, newFp)
+	} else {
+		o2 = FromResult(res, r.cfg.Pool)
+		o2.graph = g2
+		o2.shared = &r.queries
+		e2.oracle = o2
+		e2.elem = r.lru.PushFront(e2)
+		r.bytes += o2.MemoryBytes()
+		// The swap: the new entry is live, so the old fingerprint stops
+		// serving in the same critical section.
+		r.removeLocked(e)
+		r.evictLocked()
+	}
+	r.mu.Unlock()
+	close(e2.ready)
+	return newFp, o2, st, err
+}
+
+// removeLocked drops a solved entry from the map and LRU without
+// touching the eviction counter (Reweight's swap is not an eviction).
+// Safe to call on an entry that was already evicted or replaced.
+func (r *Registry) removeLocked(e *entry) {
+	if cur, ok := r.entries[e.fp]; ok && cur == e {
+		delete(r.entries, e.fp)
+	}
+	if e.elem != nil {
+		r.lru.Remove(e.elem)
+		e.elem = nil
+		r.bytes -= e.oracle.MemoryBytes()
+	}
 }
 
 // touchLocked moves a solved entry to the LRU front; in-flight entries
@@ -202,6 +339,14 @@ type Stats struct {
 	QueriesInFlight int64 // query calls executing right now
 	QueryNanos      int64 // total wall-clock spent inside query calls
 
+	// Reweight counters. RepairFallbacks counts reweights whose edit
+	// damage exceeded the repair threshold and ran a warm re-solve
+	// instead; RepairNanos is total wall-clock inside the repair
+	// function (both paths).
+	Reweights       int64
+	RepairFallbacks int64
+	RepairNanos     int64
+
 	// Plan-cache counters (all zero when no plan cache is configured).
 	// PlanHits counts solves that reused a cached symbolic plan and so
 	// performed zero ordering/eTree/fill-mask work; PlanBuildNanos is
@@ -225,6 +370,10 @@ func (r *Registry) Stats() Stats {
 		Bytes:       r.bytes,
 		BudgetBytes: r.cfg.MemoryBudget,
 		SolveNanos:  r.solveNanos,
+
+		Reweights:       r.reweights,
+		RepairFallbacks: r.repairFallbacks,
+		RepairNanos:     r.repairNanos,
 	}
 	s.QueriesServed = r.queries.served.Load()
 	s.QueriesInFlight = r.queries.inFlight.Load()

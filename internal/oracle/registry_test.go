@@ -114,13 +114,13 @@ func TestRegistryLRUEviction(t *testing.T) {
 	if _, err := r.Get(gs[2]); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := r.Lookup(fpB); ok {
+	if _, ok, _ := r.Lookup(fpB); ok {
 		t.Error("B should have been evicted (least recently used)")
 	}
-	if _, _, ok := r.Lookup(fpA); !ok {
+	if _, ok, _ := r.Lookup(fpA); !ok {
 		t.Error("A was evicted despite being recently used")
 	}
-	if _, _, ok := r.Lookup(fpC); !ok {
+	if _, ok, _ := r.Lookup(fpC); !ok {
 		t.Error("C (newest) was evicted")
 	}
 	st := r.Stats()
@@ -217,7 +217,7 @@ func TestRegistryFailedSolveNotCachedAndRetried(t *testing.T) {
 
 func TestRegistryLookupUnknown(t *testing.T) {
 	r := NewRegistry(Config{Solve: fwSolve})
-	if _, _, ok := r.Lookup(FingerprintOf(testGraph(1, 8))); ok {
+	if _, ok, _ := r.Lookup(FingerprintOf(testGraph(1, 8))); ok {
 		t.Error("Lookup of never-loaded graph reported ok")
 	}
 	if _, err := r.Get(nil); err == nil {
@@ -238,13 +238,13 @@ func TestRegistrySingleOracleOverBudget(t *testing.T) {
 	if _, err := r.Get(a); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := r.Lookup(FingerprintOf(a)); !ok {
+	if _, ok, _ := r.Lookup(FingerprintOf(a)); !ok {
 		t.Fatal("over-budget oracle was evicted immediately")
 	}
 	if _, err := r.Get(b); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := r.Lookup(FingerprintOf(a)); ok {
+	if _, ok, _ := r.Lookup(FingerprintOf(a)); ok {
 		t.Error("old over-budget oracle survived the next solve")
 	}
 	if st := r.Stats(); st.Evictions != 1 || st.Entries != 1 {

@@ -1,0 +1,321 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparseapsp/internal/apsp"
+	"sparseapsp/internal/graph"
+)
+
+// intGraph builds a connected random graph with small integer weights,
+// so path sums are float64-exact and repaired results can be compared
+// bit for bit against a from-scratch Floyd–Warshall.
+func intGraph(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v, float64(rng.Intn(9)+1))
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, float64(rng.Intn(9)+1))
+		}
+	}
+	return g
+}
+
+// testRepairer routes repairs through the real engine on a 9-rank
+// block layout with a shared plan cache, like the root package wiring.
+func testRepairer() RepairFunc {
+	plans := apsp.NewPlanCache()
+	return func(g *graph.Graph, prev *apsp.PathResult, edits []apsp.EdgeEdit) (*apsp.PathResult, *graph.Graph, apsp.RepairStats, error) {
+		return apsp.RepairWithOptions(g, prev, edits, 9, apsp.SparseOptions{Seed: 1, Plans: plans}, 0)
+	}
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestRegistryReweightSwapsFingerprint is the end-to-end registry
+// contract: Reweight installs an exact repaired oracle under the edited
+// graph's fingerprint, the old fingerprint stops serving atomically,
+// and the byte accounting survives the swap.
+func TestRegistryReweightSwapsFingerprint(t *testing.T) {
+	r := NewRegistry(Config{Solve: fwSolve, Repair: testRepairer()})
+	g := intGraph(5, 40)
+	fp := FingerprintOf(g)
+	if _, err := r.Get(g); err != nil {
+		t.Fatal(err)
+	}
+
+	edges := g.Edges()
+	edits := []apsp.EdgeEdit{
+		{U: edges[0].U, V: edges[0].V, W: edges[0].W + 3},
+		{U: edges[1].U, V: edges[1].V, W: edges[1].W + 2},
+		{U: edges[2].U, V: edges[2].V, W: 0},
+	}
+	newFp, o, st, err := r.Reweight(fp, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newFp == fp {
+		t.Fatal("reweight with real edits kept the old fingerprint")
+	}
+	if st.Edits != 3 {
+		t.Errorf("stats %+v, want 3 edits", st)
+	}
+
+	// Old fingerprint must be gone; new one must serve.
+	if _, ok, _ := r.Lookup(fp); ok {
+		t.Error("old fingerprint still serves after reweight")
+	}
+	o2, ok, err := r.Lookup(newFp)
+	if !ok || err != nil {
+		t.Fatalf("new fingerprint not served: ok=%v err=%v", ok, err)
+	}
+	if o2 != o {
+		t.Error("Lookup returned a different oracle than Reweight")
+	}
+
+	// The repaired distances are bit-identical to a from-scratch solve
+	// of the edited graph (integer weights keep sums exact).
+	g2, err := apsp.ApplyEdits(g, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintOf(g2) != newFp {
+		t.Error("reweight fingerprint disagrees with ApplyEdits")
+	}
+	want := apsp.FloydWarshallPaths(g2)
+	for u := 0; u < g2.N(); u++ {
+		for v := 0; v < g2.N(); v++ {
+			got, err := o.Dist(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameBits(got, want.Dist.At(u, v)) {
+				t.Fatalf("Dist(%d,%d) = %g, want %g", u, v, got, want.Dist.At(u, v))
+			}
+		}
+	}
+	if err := apsp.VerifyPaths(g2, want); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := r.Stats()
+	if stats.Reweights != 1 {
+		t.Errorf("Reweights = %d, want 1", stats.Reweights)
+	}
+	if stats.Entries != 1 {
+		t.Errorf("Entries = %d after swap, want 1", stats.Entries)
+	}
+	if stats.Bytes != o.MemoryBytes() {
+		t.Errorf("Bytes = %d after swap, want %d (old oracle not released)", stats.Bytes, o.MemoryBytes())
+	}
+
+	// No-op reweight: same weights, same fingerprint, same oracle.
+	fp3, o3, _, err := r.Reweight(newFp, []apsp.EdgeEdit{{U: edits[0].U, V: edits[0].V, W: edits[0].W}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 != newFp || o3 != o {
+		t.Error("no-op reweight did not return the existing oracle")
+	}
+}
+
+// TestRegistryReweightErrors pins the failure modes: unknown
+// fingerprints, invalid edits (which must leave the old oracle
+// serving), and a registry wired without a repair function.
+func TestRegistryReweightErrors(t *testing.T) {
+	r := NewRegistry(Config{Solve: fwSolve, Repair: testRepairer()})
+	g := intGraph(9, 30)
+	fp := FingerprintOf(g)
+
+	if _, _, _, err := r.Reweight(fp, nil); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("reweight of unknown graph: err = %v, want ErrUnknownGraph", err)
+	}
+	if _, err := r.Get(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := r.Reweight(fp, []apsp.EdgeEdit{{U: 0, V: 0, W: 1}}); err == nil {
+		t.Error("reweight with a self-loop edit did not error")
+	}
+	if _, _, _, err := r.Reweight(fp, []apsp.EdgeEdit{{U: g.Edges()[0].U, V: g.Edges()[0].V, W: -1}}); err == nil {
+		t.Error("reweight with a negative weight did not error")
+	}
+	if _, ok, _ := r.Lookup(fp); !ok {
+		t.Error("failed reweight displaced the old oracle")
+	}
+
+	bare := NewRegistry(Config{Solve: fwSolve})
+	if _, err := bare.Get(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := bare.Reweight(fp, nil); err == nil {
+		t.Error("registry without a repair function accepted Reweight")
+	}
+}
+
+// TestRegistryFailedWaitsAreNotHits is the stats regression test: Get
+// and Lookup calls that coalesce onto a solve must record the OUTCOME —
+// waiting out a failed solve is not a cache hit. Before the fix the hit
+// was counted (and the LRU touched) before the wait, so a failing graph
+// hammered by concurrent clients reported an arbitrarily high hit rate
+// while serving nothing but errors. Run under -race in CI.
+func TestRegistryFailedWaitsAreNotHits(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	var calls atomic.Int64
+	r := NewRegistry(Config{Solve: func(g *graph.Graph) (*apsp.PathResult, error) {
+		calls.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the coalescing window
+		return nil, boom
+	}})
+	g := testGraph(3, 20)
+	fp := FingerprintOf(g)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				if _, err := r.Get(g); !errors.Is(err, boom) {
+					t.Errorf("Get: err = %v, want boom", err)
+				}
+			} else {
+				_, ok, err := r.Lookup(fp)
+				// Lookups racing ahead of the first Get legitimately
+				// miss; ones that found the in-flight entry must
+				// surface the solve error.
+				if ok && !errors.Is(err, boom) {
+					t.Errorf("Lookup: ok with err = %v, want boom", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := r.Stats()
+	if st.Hits != 0 {
+		t.Errorf("Hits = %d after nothing but failed solves, want 0", st.Hits)
+	}
+	if st.Misses != workers {
+		t.Errorf("Misses = %d, want %d (every caller)", st.Misses, workers)
+	}
+	if st.Entries != 0 {
+		t.Errorf("Entries = %d, failed solves must not be cached", st.Entries)
+	}
+
+	// Sanity on the flip side: successful waits DO count as hits.
+	ok := NewRegistry(Config{Solve: countingSolver(&atomic.Int64{}, 5*time.Millisecond)})
+	var wg2 sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			if _, err := ok.Get(g); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg2.Wait()
+	if st := ok.Stats(); st.Hits != 7 || st.Misses != 1 {
+		t.Errorf("successful coalesce: hits=%d misses=%d, want 7/1", st.Hits, st.Misses)
+	}
+}
+
+// TestRegistryReweightConcurrent hammers one registry with concurrent
+// reweights toward the same edited graph plus queries on whatever is
+// currently cached. Concurrent reweights must coalesce (at most one
+// repair runs), every returned oracle must serve exact distances for
+// its graph, and the cache must end in a consistent single-entry
+// state. Run under -race in CI.
+func TestRegistryReweightConcurrent(t *testing.T) {
+	r := NewRegistry(Config{Solve: fwSolve, Repair: testRepairer()})
+	g := intGraph(11, 36)
+	fp := FingerprintOf(g)
+	if _, err := r.Get(g); err != nil {
+		t.Fatal(err)
+	}
+	e0 := g.Edges()[0]
+	edits := []apsp.EdgeEdit{{U: e0.U, V: e0.V, W: e0.W + 5}}
+	g2, err := apsp.ApplyEdits(g, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := apsp.FloydWarshallPaths(g2)
+	newFp := FingerprintOf(g2)
+
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			switch w % 3 {
+			case 0: // reweight old → new
+				gotFp, o, _, err := r.Reweight(fp, edits)
+				if errors.Is(err, ErrUnknownGraph) {
+					return // another reweight already removed fp
+				}
+				if err != nil {
+					t.Errorf("reweight: %v", err)
+					return
+				}
+				if gotFp != newFp {
+					t.Errorf("reweight produced fp %s, want %s", gotFp, newFp)
+					return
+				}
+				if d, err := o.Dist(0, g.N()-1); err != nil || !sameBits(d, want.Dist.At(0, g.N()-1)) {
+					t.Errorf("reweighted oracle Dist = %v (err %v), want %v", d, err, want.Dist.At(0, g.N()-1))
+				}
+			case 1: // query whichever fingerprint still serves
+				if o, ok, err := r.Lookup(fp); ok && err == nil {
+					if _, err := o.Dist(1, 2); err != nil {
+						t.Errorf("old oracle query: %v", err)
+					}
+				}
+			default:
+				if o, ok, err := r.Lookup(newFp); ok && err == nil {
+					if d, err := o.Dist(0, g.N()-1); err != nil || !sameBits(d, want.Dist.At(0, g.N()-1)) {
+						t.Errorf("new oracle Dist = %v (err %v)", d, err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if _, ok, _ := r.Lookup(fp); ok {
+		t.Error("old fingerprint still serves after concurrent reweights")
+	}
+	o, ok, err := r.Lookup(newFp)
+	if !ok || err != nil {
+		t.Fatalf("new fingerprint not served: ok=%v err=%v", ok, err)
+	}
+	for u := 0; u < g2.N(); u += 7 {
+		for v := 0; v < g2.N(); v += 5 {
+			if d, _ := o.Dist(u, v); !sameBits(d, want.Dist.At(u, v)) {
+				t.Fatalf("final oracle Dist(%d,%d) = %g, want %g", u, v, d, want.Dist.At(u, v))
+			}
+		}
+	}
+	st := r.Stats()
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d after converged reweights, want 1", st.Entries)
+	}
+	if st.Reweights < 1 {
+		t.Errorf("Reweights = %d, want >= 1", st.Reweights)
+	}
+	if st.Bytes != o.MemoryBytes() {
+		t.Errorf("Bytes = %d, want %d", st.Bytes, o.MemoryBytes())
+	}
+}
