@@ -27,21 +27,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, plan, exec, reweight, opcount, perlevel, balance, weak, strong, fig1")
-		sides   = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
-		ps      = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
-		seed    = flag.Int64("seed", 42, "nested-dissection seed")
-		cyc     = flag.Int("cyclic", 4, "DC-APSP block-cyclic factor")
-		xn      = flag.Int("crossover-n", 576, "crossover experiment graph size")
-		xp      = flag.Int("crossover-p", 49, "crossover experiment machine size")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut = flag.String("json", "", "also write all experiment tables as machine-readable JSON to this file")
-		kernel  = flag.String("kernel", "serial", "min-plus kernel for local block arithmetic: serial, tiled, pooled, sparse (results and measured costs are identical; wall-clock only)")
-		wire    = flag.String("wire", "packed", "sparse-solver payload encoding: packed (structure-aware, the default) or dense (ablation baseline)")
-		bench   = flag.String("bench-out", "", "write the perf-row benchmark sweep (family, n, p, kernel, wire, ns/op, words, flops) as JSON to this file")
-		force   = flag.Bool("force", false, "allow -bench-out to overwrite an existing file (committed reference runs are protected by default)")
-		exec    = flag.String("executor", "dataflow", "plan executor for every experiment: dataflow (bounded worker pool, the default) or machine (goroutine per rank); costs are identical, wall-clock differs")
-		reps    = flag.Int("exec-reps", 5, "timed repetitions per executor in the exec experiment (best-of)")
+		exp          = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, plan, exec, reweight, opcount, perlevel, balance, weak, strong, serve, fig1")
+		sides        = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
+		ps           = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
+		seed         = flag.Int64("seed", 42, "nested-dissection seed")
+		cyc          = flag.Int("cyclic", 4, "DC-APSP block-cyclic factor")
+		xn           = flag.Int("crossover-n", 576, "crossover experiment graph size")
+		xp           = flag.Int("crossover-p", 49, "crossover experiment machine size")
+		csv          = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut      = flag.String("json", "", "also write all experiment tables as machine-readable JSON to this file")
+		kernel       = flag.String("kernel", "serial", "min-plus kernel for local block arithmetic: serial, tiled, pooled, sparse (results and measured costs are identical; wall-clock only)")
+		wire         = flag.String("wire", "packed", "sparse-solver payload encoding: packed (structure-aware, the default) or dense (ablation baseline)")
+		bench        = flag.String("bench-out", "", "write the perf-row benchmark sweep (family, n, p, kernel, wire, ns/op, words, flops) as JSON to this file")
+		force        = flag.Bool("force", false, "allow -bench-out to overwrite an existing file (committed reference runs are protected by default)")
+		exec         = flag.String("executor", "dataflow", "plan executor for every experiment: dataflow (bounded worker pool, the default) or machine (goroutine per rank); costs are identical, wall-clock differs")
+		reps         = flag.Int("exec-reps", 5, "timed repetitions per executor in the exec experiment (best-of)")
+		serveN       = flag.Int("serve-n", 256, "serve experiment: grid workload size (n = side²)")
+		serveClients = flag.Int("serve-clients", 16, "serve experiment: concurrent load-generator clients")
+		serveBatches = flag.Int("serve-batches", 150, "serve experiment: query batches per client")
+		serveFleet   = flag.String("serve-fleet", "1,2,4", "serve experiment: comma-separated backend counts to sweep")
+
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -183,6 +188,15 @@ func main() {
 			}
 			t, err := harness.PerLevel(cfg, side, *xp)
 			show(name, t, err)
+		case "serve":
+			scfg := harness.DefaultServeConfig()
+			scfg.N = *serveN
+			scfg.Clients = *serveClients
+			scfg.Batches = *serveBatches
+			scfg.Fleet = parseInts(*serveFleet)
+			scfg.Seed = *seed
+			t, err := harness.ServeBench(scfg)
+			show(name, t, err)
 		case "fig1":
 			t, err := harness.Figure1(*seed)
 			show(name, t, err)
@@ -195,7 +209,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table2-memory", "table2-bandwidth", "table2-latency",
-			"factors", "lower", "sepcost", "crossover", "wire", "plan", "exec", "reweight", "opcount", "perlevel", "balance", "weak", "strong", "fig1"} {
+			"factors", "lower", "sepcost", "crossover", "wire", "plan", "exec", "reweight", "opcount", "perlevel", "balance", "weak", "strong", "serve", "fig1"} {
 			run(name)
 		}
 	} else {

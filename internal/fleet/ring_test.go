@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real keys: hex-ish fingerprint strings.
+		keys[i] = fmt.Sprintf("sha256:%032x", i*2654435761)
+	}
+	return keys
+}
+
+// Determinism: two rings built from the same backends — in different
+// input order, with duplicates — place every key identically. This is
+// the property that lets placement survive router restarts.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	a, err := NewRing([]string{"http://b1:80", "http://b2:80", "http://b3:80"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://b3:80", "http://b1:80", "http://b2:80", "http://b1:80"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Backends(), b.Backends()) {
+		t.Fatalf("backend sets differ: %v vs %v", a.Backends(), b.Backends())
+	}
+	for _, k := range ringKeys(2000) {
+		ra, rb := a.Replicas(k, 2), b.Replicas(k, 2)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("key %s: placements differ: %v vs %v", k, ra, rb)
+		}
+	}
+}
+
+// Minimal movement: adding one backend to an N-shard ring must move at
+// most ~2/N of the primaries (theoretical expectation 1/(N+1); the 2/N
+// bound leaves room for hash variance), and every key that moved must
+// have moved TO the new backend — consistent hashing never shuffles
+// keys between old shards.
+func TestRingAddShardMovesFewKeys(t *testing.T) {
+	const n = 8
+	var backends []string
+	for i := 0; i < n; i++ {
+		backends = append(backends, fmt.Sprintf("http://shard%d:80", i))
+	}
+	before, err := NewRing(backends, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(backends, "http://shard-new:80"), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(5000)
+	moved := 0
+	for _, k := range keys {
+		pb, pa := before.Primary(k), after.Primary(k)
+		if pb == pa {
+			continue
+		}
+		moved++
+		if pa != "http://shard-new:80" {
+			t.Fatalf("key %s moved between existing shards: %s -> %s", k, pb, pa)
+		}
+	}
+	if limit := 2 * len(keys) / n; moved > limit {
+		t.Fatalf("adding 1 shard to %d moved %d/%d keys, want <= %d", n, moved, len(keys), limit)
+	}
+	if moved == 0 {
+		t.Fatal("adding a shard moved no keys; ring is not spreading load")
+	}
+}
+
+// Replica sets contain n distinct backends, the primary first, and cap
+// at the backend count.
+func TestRingReplicaSetsDistinct(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(500) {
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %s: got %d replicas, want 3", k, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, b := range reps {
+			if seen[b] {
+				t.Fatalf("key %s: duplicate replica %s in %v", k, b, reps)
+			}
+			seen[b] = true
+		}
+		if reps[0] != r.Primary(k) {
+			t.Fatalf("key %s: Replicas[0]=%s != Primary=%s", k, reps[0], r.Primary(k))
+		}
+	}
+	if got := r.Replicas("k", 99); len(got) != 4 {
+		t.Fatalf("over-asking replicas: got %d, want backend count 4", len(got))
+	}
+}
+
+// Balance sanity: with vnodes on, no backend owns a wildly
+// disproportionate share of primaries.
+func TestRingRoughBalance(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(8000)
+	for _, k := range keys {
+		counts[r.Primary(k)]++
+	}
+	mean := len(keys) / 4
+	for b, c := range counts {
+		if c < mean/3 || c > 3*mean {
+			t.Fatalf("backend %s owns %d/%d primaries (mean %d): too imbalanced", b, c, len(keys), mean)
+		}
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", ""}, 8); err == nil {
+		t.Fatal("empty backend name accepted")
+	}
+}

@@ -1,0 +1,475 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sparseapsp"
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/oracle"
+	"sparseapsp/internal/server"
+)
+
+// newBackendServer spins one in-process apspd shard.
+func newBackendServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := sparseapsp.NewOracleRegistry(sparseapsp.Options{Algorithm: sparseapsp.SeqFW}, 0)
+	ts := httptest.NewServer(server.New(reg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newFleet spins n backends plus a router in front of them. cfg's
+// Backends field is filled in; zero-value fields take the defaults.
+func newFleet(t *testing.T, n int, cfg Config) (*httptest.Server, *Router, []*httptest.Server) {
+	t.Helper()
+	backends := make([]*httptest.Server, n)
+	for i := range backends {
+		backends[i] = newBackendServer(t)
+		cfg.Backends = append(cfg.Backends, backends[i].URL)
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+	return front, rt, backends
+}
+
+// post returns the raw status and body so tests can assert
+// bit-identity, not just semantic equality.
+func post(t *testing.T, url, path string, body interface{}) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// tryPost is post without t.Fatal, safe to call from test goroutines.
+func tryPost(url, path string, body interface{}) (int, []byte, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+func get(t *testing.T, url, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func generate(t *testing.T, url, kind string, n int, seed int64) server.GraphInfo {
+	t.Helper()
+	status, data := post(t, url, "/generate", server.GenerateRequest{Kind: kind, N: n, Seed: seed})
+	if status != http.StatusOK {
+		t.Fatalf("generate: status %d: %s", status, data)
+	}
+	var info server.GraphInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func allPairs(n int) [][2]int {
+	var pairs [][2]int
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	return pairs
+}
+
+// The acceptance criterion of the fleet subsystem: a query answered
+// through the router is byte-for-byte the answer a single direct apspd
+// process gives — whether proxied, cache-assembled, or mixed.
+func TestRouterBitIdenticalToDirect(t *testing.T) {
+	front, rt, _ := newFleet(t, 3, Config{Replicas: 2, ProbeInterval: time.Hour})
+	direct := newBackendServer(t)
+
+	const kind, n, seed = "grid", 36, 7
+	infoR := generate(t, front.URL, kind, n, seed)
+	infoD := generate(t, direct.URL, kind, n, seed)
+	if infoR.Graph != infoD.Graph {
+		t.Fatalf("fingerprints diverge: router %s direct %s", infoR.Graph, infoD.Graph)
+	}
+
+	pairs := allPairs(infoR.N)
+	req := server.QueryRequest{Graph: infoR.Graph, Pairs: pairs}
+	// Three passes: the first is all-miss (backend fills), the rest are
+	// cache-assembled — every one must match the direct answer.
+	_, want := post(t, direct.URL, "/query", req)
+	for pass := 0; pass < 3; pass++ {
+		status, got := post(t, front.URL, "/query", req)
+		if status != http.StatusOK {
+			t.Fatalf("pass %d: status %d: %s", pass, status, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pass %d: router answer diverges from direct:\nrouter: %s\ndirect: %s", pass, got, want)
+		}
+	}
+	if st := rt.Cache().Stats(); st.Hits == 0 {
+		t.Fatalf("repeat passes produced no cache hits: %+v", st)
+	}
+
+	// Path queries bypass the cache and must proxy bit-identically too.
+	reqP := server.QueryRequest{Graph: infoR.Graph, Pairs: pairs[:8], Paths: true}
+	_, wantP := post(t, direct.URL, "/query", reqP)
+	status, gotP := post(t, front.URL, "/query", reqP)
+	if status != http.StatusOK || !bytes.Equal(gotP, wantP) {
+		t.Fatalf("path query diverges (status %d):\nrouter: %s\ndirect: %s", status, gotP, wantP)
+	}
+}
+
+// Reweight through the router: the new fingerprint answers exactly
+// like a direct reweighted process, the old fingerprint 404s, and the
+// hot-pair cache never serves a pre-swap distance — including under
+// concurrent query load (run with -race).
+func TestRouterReweightInvalidatesCache(t *testing.T) {
+	front, rt, _ := newFleet(t, 2, Config{Replicas: 2, ProbeInterval: time.Hour})
+	direct := newBackendServer(t)
+
+	const kind, n, seed = "grid", 25, 3
+	info := generate(t, front.URL, kind, n, seed)
+	generate(t, direct.URL, kind, n, seed)
+
+	// Warm the cache on every pair.
+	pairs := allPairs(info.N)
+	warm := server.QueryRequest{Graph: info.Graph, Pairs: pairs}
+	if status, data := post(t, front.URL, "/query", warm); status != http.StatusOK {
+		t.Fatalf("warm query: %d %s", status, data)
+	}
+
+	// Edits double the weight of a few existing edges. The same graph
+	// is regenerated locally so the edits reference real edges.
+	g, err := graph.NamedGenerator(kind, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edits [][3]float64
+	for i, e := range g.Edges() {
+		if i >= 5 {
+			break
+		}
+		edits = append(edits, [3]float64{float64(e.U), float64(e.V), e.W * 2})
+	}
+
+	// Concurrent queriers hammer the pre-swap fingerprint while the
+	// reweight lands. Every 200 they see must be internally consistent
+	// for that fingerprint (content-addressed keys make wrong values
+	// impossible; this asserts it): compare against the direct
+	// backend's pre-swap answer. 404 after the swap is the other legal
+	// outcome.
+	_, preWant := post(t, direct.URL, "/query", warm)
+	stopQueriers := make(chan struct{})
+	var qwg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-stopQueriers:
+					return
+				default:
+				}
+				status, data, err := tryPost(front.URL, "/query", warm)
+				if err != nil {
+					t.Errorf("querier: %v", err)
+					return
+				}
+				switch status {
+				case http.StatusOK:
+					if !bytes.Equal(data, preWant) {
+						t.Errorf("pre-swap fingerprint served a non-pre-swap answer:\n%s", data)
+						return
+					}
+				case http.StatusNotFound:
+					// Swap landed; the old fingerprint is gone.
+				default:
+					t.Errorf("unexpected query status %d: %s", status, data)
+					return
+				}
+			}
+		}()
+	}
+
+	rwReq := server.ReweightRequest{Graph: info.Graph, Edits: edits}
+	status, rwBody := post(t, front.URL, "/reweight", rwReq)
+	close(stopQueriers)
+	qwg.Wait()
+	if status != http.StatusOK {
+		t.Fatalf("reweight: %d %s", status, rwBody)
+	}
+	var rw server.ReweightResponse
+	if err := json.Unmarshal(rwBody, &rw); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Graph == info.Graph {
+		t.Fatal("reweight did not change the fingerprint")
+	}
+
+	// After the swap: old fingerprint 404s through the router (both
+	// the cache and every backend must refuse it)...
+	if status, data := post(t, front.URL, "/query", warm); status != http.StatusNotFound {
+		t.Fatalf("old fingerprint still answers after reweight: %d %s", status, data)
+	}
+	// ...and the new fingerprint answers bit-identically to a direct
+	// process that applied the same reweight — twice, so the second
+	// pass is served from cache fills made after the swap.
+	if status, data := post(t, direct.URL, "/reweight", rwReq); status != http.StatusOK {
+		t.Fatalf("direct reweight: %d %s", status, data)
+	}
+	newReq := server.QueryRequest{Graph: rw.Graph, Pairs: pairs}
+	_, want := post(t, direct.URL, "/query", newReq)
+	for pass := 0; pass < 2; pass++ {
+		status, got := post(t, front.URL, "/query", newReq)
+		if status != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("pass %d: post-reweight answer diverges (status %d):\nrouter: %s\ndirect: %s",
+				pass, status, got, want)
+		}
+	}
+	if st := rt.Cache().Stats(); st.Invalidations == 0 {
+		t.Fatalf("reweight did not invalidate the cache: %+v", st)
+	}
+}
+
+// Killing one backend must not lose replicated graphs: reads fail over
+// to the surviving replica, the dead backend is ejected, and the
+// router stays ready.
+func TestRouterBackendFailover(t *testing.T) {
+	front, rt, backends := newFleet(t, 2, Config{Replicas: 2, ProbeInterval: time.Hour,
+		Retries: -1 /* no retries: fail over immediately */})
+
+	info := generate(t, front.URL, "grid", 16, 1)
+	pairs := allPairs(info.N)
+	req := server.QueryRequest{Graph: info.Graph, Pairs: pairs}
+	_, want := post(t, front.URL, "/query", req)
+
+	// Kill the replica the router will try FIRST (placement order is
+	// preserved by the load-ordered picker when all else is equal), so
+	// the query is guaranteed to trip over the corpse and fail over.
+	rt.placeMu.Lock()
+	first := rt.placements[info.Graph][0]
+	rt.placeMu.Unlock()
+	for _, ts := range backends {
+		if ts.URL == first {
+			ts.Close()
+		}
+	}
+
+	// With R=2 every graph lives on both backends, so the query must
+	// still answer — identically. Invalidate the cache first to force
+	// real backend reads.
+	rt.Cache().Invalidate(info.Graph)
+	gotStatus, got := post(t, front.URL, "/query", req)
+	if gotStatus != http.StatusOK {
+		t.Fatalf("query after backend death: %d %s", gotStatus, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("failover answer diverges:\nbefore: %s\nafter:  %s", want, got)
+	}
+
+	// The dead backend was ejected on its transport error.
+	ejected := false
+	for _, b := range rt.all {
+		if !b.Healthy() {
+			ejected = true
+		}
+	}
+	if !ejected {
+		t.Fatal("no backend was ejected after transport failure")
+	}
+	if status, _ := get(t, front.URL, "/readyz"); status != http.StatusOK {
+		t.Fatalf("router not ready with one surviving backend: %d", status)
+	}
+}
+
+// When every backend is gone the router reports not-ready and queries
+// fail with 502, not hangs.
+func TestRouterAllBackendsDown(t *testing.T) {
+	front, _, backends := newFleet(t, 1, Config{ProbeInterval: time.Hour, Retries: -1})
+	info := generate(t, front.URL, "path", 8, 1)
+	backends[0].Close()
+
+	status, data := post(t, front.URL, "/query",
+		server.QueryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 1}}, Paths: true})
+	if status != http.StatusBadGateway {
+		t.Fatalf("query with dead fleet: %d %s", status, data)
+	}
+	if status, _ := get(t, front.URL, "/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with dead fleet: %d", status)
+	}
+	if status, _ := get(t, front.URL, "/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz must stay 200 (liveness, not readiness): %d", status)
+	}
+}
+
+// Admission control: when every replica of a graph is at its in-flight
+// bound the router answers 429 + Retry-After instead of queueing.
+func TestRouterAdmission429(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" || r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		<-release // hold the router's admission slot
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"dists":[0]}`)
+	}))
+	defer slow.Close()
+
+	rt, err := NewRouter(Config{Backends: []string{slow.URL}, MaxInFlight: 1,
+		ProbeInterval: time.Hour, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	fp := oracle.FingerprintOf(graph.New(1)).String()
+	req, _ := json.Marshal(server.QueryRequest{Graph: fp, Pairs: [][2]int{{0, 0}}, Paths: true})
+
+	// First query occupies the only slot...
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		http.Post(front.URL+"/query", "application/json", bytes.NewReader(req))
+	}()
+	// ...wait until it is admitted...
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.all[0].InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first query was never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...so the second is refused with backpressure semantics.
+	resp, err := http.Post(front.URL+"/query", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated fleet answered %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	once.Do(func() { close(release) })
+	<-firstDone
+}
+
+// /statsz aggregates the fleet: per-backend registries, their sum, the
+// cache and the ring topology.
+func TestRouterStatszAggregates(t *testing.T) {
+	front, _, _ := newFleet(t, 2, Config{Replicas: 1, ProbeInterval: time.Hour})
+
+	// Two graphs so that (very likely) both shards see work; R=1 keeps
+	// each on exactly one shard.
+	var infos []server.GraphInfo
+	for seed := int64(1); seed <= 4; seed++ {
+		infos = append(infos, generate(t, front.URL, "path", 12, seed))
+	}
+	for _, info := range infos {
+		post(t, front.URL, "/query", server.QueryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 5}}})
+	}
+
+	status, data := get(t, front.URL, "/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz: %d %s", status, data)
+	}
+	var st RouterStatsz
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "router" || len(st.Backends) != 2 || len(st.Registries) != 2 {
+		t.Fatalf("statsz topology wrong: %+v", st)
+	}
+	if st.Aggregate.Solves != 4 {
+		t.Fatalf("aggregate solves = %d, want 4 (one per generated graph)", st.Aggregate.Solves)
+	}
+	var sum int64
+	for _, reg := range st.Registries {
+		sum += reg.Solves
+	}
+	if sum != st.Aggregate.Solves {
+		t.Fatalf("aggregate (%d) != sum of per-backend (%d)", st.Aggregate.Solves, sum)
+	}
+	if st.Graphs != 4 {
+		t.Fatalf("router tracks %d placements, want 4", st.Graphs)
+	}
+	if st.Endpoints["generate"].Requests != 4 {
+		t.Fatalf("endpoint counters wrong: %+v", st.Endpoints)
+	}
+}
+
+// Placement is deterministic and replicated: the router records R
+// distinct replicas per fingerprint, agreeing with the ring.
+func TestRouterPlacementFollowsRing(t *testing.T) {
+	_, rt, _ := newFleet(t, 3, Config{Replicas: 2, ProbeInterval: time.Hour})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	info := generate(t, front.URL, "grid", 16, 9)
+	rt.placeMu.Lock()
+	placed := rt.placements[info.Graph]
+	rt.placeMu.Unlock()
+	want := rt.ring.Replicas(info.Graph, 2)
+	if len(placed) != 2 || placed[0] != want[0] || placed[1] != want[1] {
+		t.Fatalf("placement %v diverges from ring %v", placed, want)
+	}
+	// Both replicas actually hold the graph: ask each directly.
+	for _, u := range placed {
+		status, data := post(t, u, "/query",
+			server.QueryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 1}}})
+		if status != http.StatusOK {
+			t.Fatalf("replica %s does not hold %s: %d %s", u, info.Graph, status, data)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -66,6 +67,13 @@ type Registry struct {
 	reweights       int64
 	repairNanos     int64
 	repairFallbacks int64
+	// activeSolves counts solves and repairs executing right now —
+	// work the registry owns even after the HTTP request (or caller)
+	// that triggered it has gone away, because coalesced waiters and
+	// the cache entry still depend on its completion. Quiesce waits on
+	// it; idle is closed-and-replaced each time it drops to zero.
+	activeSolves int
+	idle         chan struct{}
 	// queries is shared with every oracle this registry creates, so the
 	// totals stay cumulative across evictions and keep counting queries
 	// that were in flight when their oracle was evicted.
@@ -111,6 +119,7 @@ func (r *Registry) Get(g *graph.Graph) (*Oracle, error) {
 	r.misses++
 	e := &entry{fp: fp, ready: make(chan struct{})}
 	r.entries[fp] = e
+	r.beginSolveLocked()
 	r.mu.Unlock()
 
 	start := time.Now()
@@ -120,6 +129,7 @@ func (r *Registry) Get(g *graph.Graph) (*Oracle, error) {
 	r.mu.Lock()
 	r.solves++
 	r.solveNanos += elapsed
+	r.endSolveLocked()
 	if err != nil {
 		e.err = err
 		delete(r.entries, fp) // allow a retry; current waiters get err
@@ -228,6 +238,7 @@ func (r *Registry) Reweight(fp Fingerprint, edits []apsp.EdgeEdit) (Fingerprint,
 	}
 	e2 := &entry{fp: newFp, ready: make(chan struct{})}
 	r.entries[newFp] = e2
+	r.beginSolveLocked()
 	r.mu.Unlock()
 
 	start := time.Now()
@@ -238,6 +249,7 @@ func (r *Registry) Reweight(fp Fingerprint, edits []apsp.EdgeEdit) (Fingerprint,
 	r.mu.Lock()
 	r.reweights++
 	r.repairNanos += elapsed
+	r.endSolveLocked()
 	if st.FellBack {
 		r.repairFallbacks++
 	}
@@ -259,6 +271,65 @@ func (r *Registry) Reweight(fp Fingerprint, edits []apsp.EdgeEdit) (Fingerprint,
 	r.mu.Unlock()
 	close(e2.ready)
 	return newFp, o2, st, err
+}
+
+// beginSolveLocked / endSolveLocked bracket a solve or repair for the
+// quiescence tracking. endSolveLocked wakes every Quiesce waiter when
+// the last in-flight solve finishes.
+func (r *Registry) beginSolveLocked() { r.activeSolves++ }
+
+func (r *Registry) endSolveLocked() {
+	r.activeSolves--
+	if r.activeSolves == 0 && r.idle != nil {
+		close(r.idle)
+		r.idle = nil
+	}
+}
+
+// ActiveSolves returns the number of solves and repairs executing right
+// now. Nonzero means shutting the process down would abandon work that
+// coalesced waiters (possibly on other connections) depend on.
+func (r *Registry) ActiveSolves() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.activeSolves
+}
+
+// Quiesce blocks until no solve or repair is in flight, or until ctx is
+// done. It is the registry half of a graceful drain: http.Server's
+// Shutdown only waits for open connections, but a solve started by a
+// since-disconnected client keeps running inside the registry — exiting
+// before it finishes would waste the work and strand coalesced waiters.
+// Quiesce does not prevent new solves from starting; stop routing new
+// traffic first (Server.BeginDrain).
+func (r *Registry) Quiesce(ctx context.Context) error {
+	for {
+		r.mu.Lock()
+		if r.activeSolves == 0 {
+			r.mu.Unlock()
+			return nil
+		}
+		if r.idle == nil {
+			r.idle = make(chan struct{})
+		}
+		ch := r.idle
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Has reports whether fp names a cached (solved or solving) entry,
+// without touching the hit/miss counters or the LRU order — the cheap
+// membership probe the fleet router uses for placement checks.
+func (r *Registry) Has(fp Fingerprint) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[fp]
+	return ok
 }
 
 // removeLocked drops a solved entry from the map and LRU without
@@ -325,10 +396,14 @@ func (r *Registry) Fingerprints() []Fingerprint {
 // feeds the same totals, including queries still in flight on an
 // already-evicted oracle.
 type Stats struct {
-	Solves    int64 // solves actually run (coalesced requests share one)
-	Hits      int64 // Get/Lookup calls satisfied by an existing entry
-	Misses    int64 // Get calls that triggered a solve + unknown Lookups
-	Evictions int64 // oracles dropped by the LRU budget
+	Solves int64 // solves actually run (coalesced requests share one)
+	// SolvesInFlight counts solves and repairs executing right now —
+	// the work Quiesce waits for during a drain, and a load signal the
+	// fleet router reads per backend.
+	SolvesInFlight int64
+	Hits           int64 // Get/Lookup calls satisfied by an existing entry
+	Misses         int64 // Get calls that triggered a solve + unknown Lookups
+	Evictions      int64 // oracles dropped by the LRU budget
 
 	Entries     int   // cached entries, including in-flight solves
 	Bytes       int64 // retained bytes of solved oracles
@@ -362,7 +437,9 @@ func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Stats{
-		Solves:      r.solves,
+		Solves:         r.solves,
+		SolvesInFlight: int64(r.activeSolves),
+
 		Hits:        r.hits,
 		Misses:      r.misses,
 		Evictions:   r.evictions,

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -249,5 +250,81 @@ func TestRegistrySingleOracleOverBudget(t *testing.T) {
 	}
 	if st := r.Stats(); st.Evictions != 1 || st.Entries != 1 {
 		t.Errorf("stats = %+v, want 1 eviction and 1 entry", st)
+	}
+}
+
+// TestRegistryQuiesceWaitsForInFlightSolves is the drain regression
+// test: a graceful shutdown must wait for solves coalesced inside the
+// registry, not just for open HTTP connections — a solve whose
+// originating client disconnected still runs, and Quiesce is what the
+// drain path blocks on until it completes.
+func TestRegistryQuiesceWaitsForInFlightSolves(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var solveDone atomic.Bool
+	r := NewRegistry(Config{Solve: func(g *graph.Graph) (*apsp.PathResult, error) {
+		close(started)
+		<-release // the solve outlives its originating request
+		solveDone.Store(true)
+		return apsp.FloydWarshallPaths(g), nil
+	}})
+
+	// Idle registry: Quiesce returns immediately.
+	if err := r.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce on idle registry: %v", err)
+	}
+
+	g := testGraph(1, 20)
+	getDone := make(chan struct{})
+	go func() {
+		defer close(getDone)
+		if _, err := r.Get(g); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	if n := r.ActiveSolves(); n != 1 {
+		t.Fatalf("ActiveSolves = %d during solve, want 1", n)
+	}
+
+	// A bounded Quiesce while the solve hangs must time out, not
+	// return success.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err := r.Quiesce(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Quiesce during hung solve = %v, want deadline exceeded", err)
+	}
+
+	// Release the solve: Quiesce must now return only after the solve
+	// finished (solveDone observed true strictly before Quiesce ends).
+	quiesced := make(chan error, 1)
+	go func() {
+		quiesced <- r.Quiesce(context.Background())
+	}()
+	close(release)
+	if err := <-quiesced; err != nil {
+		t.Fatalf("Quiesce after release: %v", err)
+	}
+	if !solveDone.Load() {
+		t.Fatal("Quiesce returned before the in-flight solve completed")
+	}
+	<-getDone
+	if n := r.ActiveSolves(); n != 0 {
+		t.Fatalf("ActiveSolves = %d after drain, want 0", n)
+	}
+	if st := r.Stats(); st.SolvesInFlight != 0 || st.Solves != 1 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	// Has is a side-effect-free membership probe.
+	missesBefore := r.Stats().Misses
+	if !r.Has(FingerprintOf(g)) {
+		t.Error("Has(solved graph) = false")
+	}
+	if r.Has(Fingerprint{1}) {
+		t.Error("Has(unknown) = true")
+	}
+	if got := r.Stats().Misses; got != missesBefore {
+		t.Errorf("Has changed miss counter: %d -> %d", missesBefore, got)
 	}
 }

@@ -1,4 +1,12 @@
-package main
+// Package server is the apspd HTTP front-end over an oracle registry,
+// factored out of cmd/apspd so the fleet router, the load-test harness
+// and the tests can all spin up real backends in-process. cmd/apspd
+// wraps it in a net/http.Server; internal/fleet proxies to it.
+//
+// The package also owns the wire protocol: the request/response JSON
+// types of every endpoint live here and are imported by the router, so
+// a single definition decides what travels between router and backends.
+package server
 
 import (
 	"encoding/json"
@@ -16,8 +24,8 @@ import (
 	"sparseapsp/internal/oracle"
 )
 
-// maxBodyBytes bounds request bodies (graphs arrive inline).
-const maxBodyBytes = 64 << 20
+// MaxBodyBytes bounds request bodies (graphs arrive inline).
+const MaxBodyBytes = 64 << 20
 
 // endpointStats counts one endpoint's traffic.
 type endpointStats struct {
@@ -28,7 +36,8 @@ type endpointStats struct {
 	MaxNanos   atomic.Int64
 }
 
-type endpointSnapshot struct {
+// EndpointSnapshot is the per-endpoint section of /statsz.
+type EndpointSnapshot struct {
 	Requests int64   `json:"requests"`
 	Errors   int64   `json:"errors"`
 	InFlight int64   `json:"in_flight"`
@@ -36,8 +45,8 @@ type endpointSnapshot struct {
 	MaxMs    float64 `json:"max_ms"`
 }
 
-func (e *endpointStats) snapshot() endpointSnapshot {
-	return endpointSnapshot{
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	return EndpointSnapshot{
 		Requests: e.Requests.Load(),
 		Errors:   e.Errors.Load(),
 		InFlight: e.InFlight.Load(),
@@ -46,18 +55,27 @@ func (e *endpointStats) snapshot() endpointSnapshot {
 	}
 }
 
-// server is the apspd HTTP front-end over an oracle registry.
-type server struct {
+// Server is the apspd HTTP handler over an oracle registry.
+//
+// Liveness and readiness are split: /healthz answers 200 for the whole
+// process lifetime (the probe for "restart me"), while /readyz answers
+// 200 only while the server wants traffic — it goes 503 the moment
+// BeginDrain is called, so a router health-probing /readyz stops
+// routing to a draining backend before its listener closes.
+type Server struct {
 	reg       *oracle.Registry
 	mux       *http.ServeMux
 	started   time.Time
 	endpoints map[string]*endpointStats
+	ready     atomic.Bool
+	draining  atomic.Bool
 }
 
-// newServer wires the handlers. The registry owns solving and caching;
-// the server only parses requests and keeps per-endpoint counters.
-func newServer(reg *oracle.Registry) *server {
-	s := &server{
+// New wires the handlers. The registry owns solving and caching; the
+// server only parses requests and keeps per-endpoint counters. The
+// server reports ready as soon as New returns with a non-nil registry.
+func New(reg *oracle.Registry) *Server {
+	s := &Server{
 		reg:       reg,
 		mux:       http.NewServeMux(),
 		started:   time.Now(),
@@ -69,10 +87,25 @@ func newServer(reg *oracle.Registry) *server {
 	s.handle("reweight", "POST /reweight", s.handleReweight)
 	s.handle("statsz", "GET /statsz", s.handleStatsz)
 	s.handle("healthz", "GET /healthz", s.handleHealthz)
+	s.handle("readyz", "GET /readyz", s.handleReadyz)
+	s.ready.Store(reg != nil)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetReady overrides the readiness state; New already marks the server
+// ready, so this mainly serves embedders that construct the server
+// before its registry is usable.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// BeginDrain flips /readyz to 503 without touching /healthz: health
+// probes stop sending new traffic while in-flight requests (and the
+// registry solves they coalesced into) finish. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // apiError carries an HTTP status through the handler return path.
 type apiError struct {
@@ -88,7 +121,7 @@ func badRequest(format string, args ...interface{}) error {
 
 // handle registers a counted handler: requests, errors, in-flight and
 // latency are tracked per endpoint and reported by /statsz.
-func (s *server) handle(name, pattern string, h func(w http.ResponseWriter, r *http.Request) error) {
+func (s *Server) handle(name, pattern string, h func(w http.ResponseWriter, r *http.Request) error) {
 	st := &endpointStats{}
 	s.endpoints[name] = st
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -124,77 +157,100 @@ func writeJSON(w http.ResponseWriter, v interface{}) error {
 	return json.NewEncoder(w).Encode(v)
 }
 
-// graphInfo is the response of /load and /generate: the id to query by
+// GraphInfo is the response of /load and /generate: the id to query by
 // plus basic shape info.
-type graphInfo struct {
+type GraphInfo struct {
 	Graph string `json:"graph"`
 	N     int    `json:"n"`
 	M     int    `json:"m"`
 }
 
+// registry returns the oracle registry, or a 503 error for a server
+// constructed before its registry exists (see SetReady).
+func (s *Server) registry() (*oracle.Registry, error) {
+	if s.reg == nil {
+		return nil, &apiError{status: http.StatusServiceUnavailable, err: errors.New("registry not initialized")}
+	}
+	return s.reg, nil
+}
+
 // register solves g through the registry (coalesced with any
 // concurrent load of the same graph) and returns its id.
-func (s *server) register(w http.ResponseWriter, g *graph.Graph) error {
+func (s *Server) register(w http.ResponseWriter, g *graph.Graph) error {
+	if _, err := s.registry(); err != nil {
+		return err
+	}
 	if _, err := s.reg.Get(g); err != nil {
 		return badRequest("solve failed: %v", err)
 	}
-	return writeJSON(w, graphInfo{Graph: oracle.FingerprintOf(g).String(), N: g.N(), M: g.M()})
+	return writeJSON(w, GraphInfo{Graph: oracle.FingerprintOf(g).String(), N: g.N(), M: g.M()})
 }
 
-// loadRequest is the JSON form of /load; the endpoint also accepts the
+// LoadRequest is the JSON form of /load; the endpoint also accepts the
 // plain-text edge-list format of internal/graph (n header + "u v w"
 // lines) when the body does not start with '{'.
-type loadRequest struct {
+type LoadRequest struct {
 	N     int          `json:"n"`
 	Edges [][3]float64 `json:"edges"` // [u, v, w] triples
 }
 
-func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
-	if err != nil {
-		return badRequest("reading body: %v", err)
-	}
+// ParseGraphBody decodes a /load body — JSON {n, edges} or edge-list
+// text — into a graph. The router uses it too: computing the graph
+// fingerprint locally is what lets it place a load deterministically
+// before any backend has seen the graph.
+func ParseGraphBody(body []byte) (*graph.Graph, error) {
 	trimmed := strings.TrimSpace(string(body))
 	if trimmed == "" {
-		return badRequest("empty body: want JSON {n, edges} or edge-list text")
+		return nil, fmt.Errorf("empty body: want JSON {n, edges} or edge-list text")
 	}
-	var g *graph.Graph
 	if strings.HasPrefix(trimmed, "{") {
-		var req loadRequest
+		var req LoadRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			return badRequest("bad JSON: %v", err)
+			return nil, fmt.Errorf("bad JSON: %v", err)
 		}
 		if req.N < 0 {
-			return badRequest("negative vertex count %d", req.N)
+			return nil, fmt.Errorf("negative vertex count %d", req.N)
 		}
-		g = graph.New(req.N)
+		g := graph.New(req.N)
 		for i, e := range req.Edges {
 			u, v := int(e[0]), int(e[1])
 			if float64(u) != e[0] || float64(v) != e[1] || u < 0 || u >= req.N || v < 0 || v >= req.N {
-				return badRequest("edge %d: endpoints (%g,%g) outside [0,%d)", i, e[0], e[1], req.N)
+				return nil, fmt.Errorf("edge %d: endpoints (%g,%g) outside [0,%d)", i, e[0], e[1], req.N)
 			}
 			g.AddEdge(u, v, e[2])
 		}
-	} else {
-		g, err = graph.Read(strings.NewReader(trimmed))
-		if err != nil {
-			return badRequest("bad edge list: %v", err)
-		}
+		return g, nil
+	}
+	g, err := graph.Read(strings.NewReader(trimmed))
+	if err != nil {
+		return nil, fmt.Errorf("bad edge list: %v", err)
+	}
+	return g, nil
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBodyBytes))
+	if err != nil {
+		return badRequest("reading body: %v", err)
+	}
+	g, err := ParseGraphBody(body)
+	if err != nil {
+		return badRequest("%v", err)
 	}
 	return s.register(w, g)
 }
 
-// generateRequest builds one of the named workload families of
+// GenerateRequest builds one of the named workload families of
 // internal/graph (grid, grid3d, path, cycle, tree, gnp, rmat, rgg, ...).
-type generateRequest struct {
+type GenerateRequest struct {
 	Kind string `json:"kind"`
 	N    int    `json:"n"`
 	Seed int64  `json:"seed"`
 }
 
-func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) error {
-	var req generateRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) error {
+	var req GenerateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, MaxBodyBytes)).Decode(&req); err != nil {
 		return badRequest("bad JSON: %v", err)
 	}
 	if req.N <= 0 {
@@ -207,22 +263,24 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) error {
 	return s.register(w, g)
 }
 
-// queryRequest asks for distances (and optionally full paths) for a
+// QueryRequest asks for distances (and optionally full paths) for a
 // batch of (source, target) pairs on a loaded graph.
-type queryRequest struct {
+type QueryRequest struct {
 	Graph string   `json:"graph"`
 	Pairs [][2]int `json:"pairs"`
 	Paths bool     `json:"paths"`
 }
 
-type queryResponse struct {
-	Dists []float64 `json:"dists"` // -1 encodes unreachable (JSON has no Inf)
+// QueryResponse answers a /query batch, index-aligned with the request
+// pairs. Unreachable distances are encoded as -1 (JSON has no Inf).
+type QueryResponse struct {
+	Dists []float64 `json:"dists"`
 	Paths [][]int   `json:"paths,omitempty"`
 }
 
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) error {
-	var req queryRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req QueryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, MaxBodyBytes)).Decode(&req); err != nil {
 		return badRequest("bad JSON: %v", err)
 	}
 	if len(req.Pairs) == 0 {
@@ -232,7 +290,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return badRequest("%v", err)
 	}
-	o, ok, err := s.reg.Lookup(fp)
+	reg, err := s.registry()
+	if err != nil {
+		return err
+	}
+	o, ok, err := reg.Lookup(fp)
 	if !ok {
 		return &apiError{status: http.StatusNotFound,
 			err: fmt.Errorf("unknown graph %s: load or generate it first", req.Graph)}
@@ -244,7 +306,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return badRequest("%v", err)
 	}
-	resp := queryResponse{Dists: make([]float64, len(dists))}
+	resp := QueryResponse{Dists: make([]float64, len(dists))}
 	for i, d := range dists {
 		if math.IsInf(d, 1) {
 			resp.Dists[i] = -1
@@ -260,18 +322,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, resp)
 }
 
-// reweightRequest changes the weights of existing edges of a loaded
+// ReweightRequest changes the weights of existing edges of a loaded
 // graph. Edits are [u, v, w] triples like /load's edges; every edge
 // must already exist (reweighting never changes the structure). The
 // repaired oracle is installed under the edited graph's fingerprint and
 // the old fingerprint stops serving.
-type reweightRequest struct {
+type ReweightRequest struct {
 	Graph string       `json:"graph"`
 	Edits [][3]float64 `json:"edits"`
 }
 
-type reweightResponse struct {
-	Graph string `json:"graph"` // the new fingerprint to query by
+// ReweightResponse reports the new fingerprint to query by plus the
+// repair statistics.
+type ReweightResponse struct {
+	Graph string `json:"graph"`
 	N     int    `json:"n"`
 	M     int    `json:"m"`
 
@@ -285,9 +349,9 @@ type reweightResponse struct {
 	FellBack       bool    `json:"fell_back"`
 }
 
-func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) error {
-	var req reweightRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+func (s *Server) handleReweight(w http.ResponseWriter, r *http.Request) error {
+	var req ReweightRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, MaxBodyBytes)).Decode(&req); err != nil {
 		return badRequest("bad JSON: %v", err)
 	}
 	if len(req.Edits) == 0 {
@@ -305,7 +369,11 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) error {
 		}
 		edits[i] = apsp.EdgeEdit{U: u, V: v, W: e[2]}
 	}
-	newFp, o, st, err := s.reg.Reweight(fp, edits)
+	reg, err := s.registry()
+	if err != nil {
+		return err
+	}
+	newFp, o, st, err := reg.Reweight(fp, edits)
 	if errors.Is(err, oracle.ErrUnknownGraph) {
 		return &apiError{status: http.StatusNotFound,
 			err: fmt.Errorf("unknown graph %s: load or generate it first", req.Graph)}
@@ -314,7 +382,7 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) error {
 		return badRequest("reweight failed: %v", err)
 	}
 	g := o.Graph()
-	return writeJSON(w, reweightResponse{
+	return writeJSON(w, ReweightResponse{
 		Graph:          newFp.String(),
 		N:              g.N(),
 		M:              g.M(),
@@ -329,16 +397,24 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) error {
 	})
 }
 
-// statszResponse is the /statsz report: registry counters plus the
-// per-endpoint traffic counters.
-type statszResponse struct {
+// StatszResponse is the /statsz report: registry counters plus the
+// per-endpoint traffic counters. The fleet router fans this out across
+// its backends and sums the registry sections.
+type StatszResponse struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
-	Registry      registrySnapshot            `json:"registry"`
-	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
+	Registry      RegistrySnapshot            `json:"registry"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 }
 
-type registrySnapshot struct {
-	Solves          int64   `json:"solves"`
+// RegistrySnapshot is the registry section of /statsz.
+type RegistrySnapshot struct {
+	Solves int64 `json:"solves"`
+	// SolvesInFlight counts solves (and repairs) executing right now —
+	// including ones whose originating HTTP client has gone away but
+	// whose coalesced waiters are still pending. The drain path waits
+	// on this through Registry.Quiesce, and the router surfaces it as
+	// backend load.
+	SolvesInFlight  int64   `json:"solves_in_flight"`
 	Hits            int64   `json:"hits"`
 	Misses          int64   `json:"misses"`
 	Evictions       int64   `json:"evictions"`
@@ -363,12 +439,17 @@ type registrySnapshot struct {
 	PlanBuildMs float64 `json:"plan_build_ms"`
 }
 
-func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
-	st := s.reg.Stats()
-	resp := statszResponse{
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
+	reg, err := s.registry()
+	if err != nil {
+		return err
+	}
+	st := reg.Stats()
+	resp := StatszResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Registry: registrySnapshot{
+		Registry: RegistrySnapshot{
 			Solves:          st.Solves,
+			SolvesInFlight:  st.SolvesInFlight,
 			Hits:            st.Hits,
 			Misses:          st.Misses,
 			Evictions:       st.Evictions,
@@ -387,7 +468,7 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 			PlanEntries:     st.PlanEntries,
 			PlanBuildMs:     float64(st.PlanBuildNanos) / 1e6,
 		},
-		Endpoints: make(map[string]endpointSnapshot, len(s.endpoints)),
+		Endpoints: make(map[string]EndpointSnapshot, len(s.endpoints)),
 	}
 	for name, ep := range s.endpoints {
 		resp.Endpoints[name] = ep.snapshot()
@@ -395,6 +476,22 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, resp)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+// handleHealthz is the liveness probe: 200 for the whole process
+// lifetime, draining included. Use /readyz to decide routability.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 before the registry is
+// installed and from BeginDrain onward, 200 in between. The fleet
+// router probes this endpoint, so a draining backend stops receiving
+// new queries while it finishes in-flight work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) error {
+	switch {
+	case s.draining.Load():
+		return &apiError{status: http.StatusServiceUnavailable, err: errors.New("draining")}
+	case !s.ready.Load():
+		return &apiError{status: http.StatusServiceUnavailable, err: errors.New("not ready")}
+	}
+	return writeJSON(w, map[string]string{"status": "ready"})
 }

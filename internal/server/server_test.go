@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -18,10 +18,10 @@ import (
 	"sparseapsp/internal/oracle"
 )
 
-func newTestServer(t *testing.T, budget int64) (*httptest.Server, *server) {
+func newTestServer(t *testing.T, budget int64) (*httptest.Server, *Server) {
 	t.Helper()
 	reg := sparseapsp.NewOracleRegistry(sparseapsp.Options{Algorithm: sparseapsp.SeqFW}, budget)
-	s := newServer(reg)
+	s := New(reg)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts, s
@@ -50,14 +50,14 @@ func postJSON(t *testing.T, url string, body interface{}, out interface{}) *http
 	return resp
 }
 
-func getStats(t *testing.T, base string) statszResponse {
+func getStats(t *testing.T, base string) StatszResponse {
 	t.Helper()
 	resp, err := http.Get(base + "/statsz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st statszResponse
+	var st StatszResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -69,8 +69,8 @@ func getStats(t *testing.T, base string) statszResponse {
 func TestServerEndToEnd(t *testing.T) {
 	ts, _ := newTestServer(t, 0)
 
-	var info graphInfo
-	resp := postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 49, Seed: 7}, &info)
+	var info GraphInfo
+	resp := postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "grid", N: 49, Seed: 7}, &info)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/generate status %d", resp.StatusCode)
 	}
@@ -89,8 +89,8 @@ func TestServerEndToEnd(t *testing.T) {
 	want := apsp.FloydWarshallPaths(g)
 
 	pairs := [][2]int{{0, 48}, {6, 42}, {0, 0}, {13, 27}}
-	var qr queryResponse
-	resp = postJSON(t, ts.URL+"/query", queryRequest{Graph: info.Graph, Pairs: pairs, Paths: true}, &qr)
+	var qr QueryResponse
+	resp = postJSON(t, ts.URL+"/query", QueryRequest{Graph: info.Graph, Pairs: pairs, Paths: true}, &qr)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/query status %d", resp.StatusCode)
 	}
@@ -166,18 +166,18 @@ func TestServerCoalescesConcurrentLoads(t *testing.T) {
 
 func TestServerLoadJSONAndUnreachable(t *testing.T) {
 	ts, _ := newTestServer(t, 0)
-	var info graphInfo
+	var info GraphInfo
 	resp := postJSON(t, ts.URL+"/load",
-		loadRequest{N: 4, Edges: [][3]float64{{0, 1, 2.5}, {1, 2, 1}}}, &info)
+		LoadRequest{N: 4, Edges: [][3]float64{{0, 1, 2.5}, {1, 2, 1}}}, &info)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/load status %d", resp.StatusCode)
 	}
 	if info.N != 4 || info.M != 2 {
 		t.Fatalf("info = %+v", info)
 	}
-	var qr queryResponse
+	var qr QueryResponse
 	postJSON(t, ts.URL+"/query",
-		queryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 2}, {0, 3}}, Paths: true}, &qr)
+		QueryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 2}, {0, 3}}, Paths: true}, &qr)
 	if qr.Dists[0] != 3.5 {
 		t.Errorf("dist(0,2) = %g, want 3.5", qr.Dists[0])
 	}
@@ -198,19 +198,19 @@ func TestServerErrorPaths(t *testing.T) {
 	}{
 		{"query unknown graph", http.StatusNotFound, func() *http.Response {
 			return postJSON(t, ts.URL+"/query",
-				queryRequest{Graph: strings.Repeat("ab", 32), Pairs: [][2]int{{0, 1}}}, nil)
+				QueryRequest{Graph: strings.Repeat("ab", 32), Pairs: [][2]int{{0, 1}}}, nil)
 		}},
 		{"query bad fingerprint", http.StatusBadRequest, func() *http.Response {
-			return postJSON(t, ts.URL+"/query", queryRequest{Graph: "zz", Pairs: [][2]int{{0, 1}}}, nil)
+			return postJSON(t, ts.URL+"/query", QueryRequest{Graph: "zz", Pairs: [][2]int{{0, 1}}}, nil)
 		}},
 		{"query no pairs", http.StatusBadRequest, func() *http.Response {
-			return postJSON(t, ts.URL+"/query", queryRequest{Graph: strings.Repeat("ab", 32)}, nil)
+			return postJSON(t, ts.URL+"/query", QueryRequest{Graph: strings.Repeat("ab", 32)}, nil)
 		}},
 		{"generate bad kind", http.StatusBadRequest, func() *http.Response {
-			return postJSON(t, ts.URL+"/generate", generateRequest{Kind: "nope", N: 9}, nil)
+			return postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "nope", N: 9}, nil)
 		}},
 		{"generate zero n", http.StatusBadRequest, func() *http.Response {
-			return postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid"}, nil)
+			return postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "grid"}, nil)
 		}},
 		{"load garbage", http.StatusBadRequest, func() *http.Response {
 			resp, err := http.Post(ts.URL+"/load", "text/plain", strings.NewReader("what is this"))
@@ -221,7 +221,7 @@ func TestServerErrorPaths(t *testing.T) {
 			return resp
 		}},
 		{"load bad edge", http.StatusBadRequest, func() *http.Response {
-			return postJSON(t, ts.URL+"/load", loadRequest{N: 2, Edges: [][3]float64{{0, 5, 1}}}, nil)
+			return postJSON(t, ts.URL+"/load", LoadRequest{N: 2, Edges: [][3]float64{{0, 5, 1}}}, nil)
 		}},
 	}
 	for _, c := range cases {
@@ -239,10 +239,10 @@ func TestServerErrorPaths(t *testing.T) {
 // the HTTP layer.
 func TestServerQueryOutOfRangePair(t *testing.T) {
 	ts, _ := newTestServer(t, 0)
-	var info graphInfo
-	postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 16, Seed: 1}, &info)
+	var info GraphInfo
+	postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "grid", N: 16, Seed: 1}, &info)
 	resp := postJSON(t, ts.URL+"/query",
-		queryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 999}}}, nil)
+		QueryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 999}}}, nil)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("out-of-range pair: status %d, want 400", resp.StatusCode)
 	}
@@ -253,10 +253,10 @@ func TestServerQueryOutOfRangePair(t *testing.T) {
 func TestServerEviction(t *testing.T) {
 	// One 16-vertex FW result is 16*16*(8+4) = 3072 bytes; fit two.
 	ts, _ := newTestServer(t, 2*3072)
-	var a, b, c graphInfo
-	postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 16, Seed: 1}, &a)
-	postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 16, Seed: 2}, &b)
-	postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 16, Seed: 3}, &c)
+	var a, b, c GraphInfo
+	postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "grid", N: 16, Seed: 1}, &a)
+	postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "grid", N: 16, Seed: 2}, &b)
+	postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "grid", N: 16, Seed: 3}, &c)
 	st := getStats(t, ts.URL)
 	if st.Registry.Evictions != 1 || st.Registry.Entries != 2 {
 		t.Errorf("evictions=%d entries=%d, want 1 and 2", st.Registry.Evictions, st.Registry.Entries)
@@ -265,10 +265,10 @@ func TestServerEviction(t *testing.T) {
 		t.Errorf("retained %d bytes over budget", st.Registry.Bytes)
 	}
 	// The oldest graph must 404 now; the newer ones still answer.
-	if resp := postJSON(t, ts.URL+"/query", queryRequest{Graph: a.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusNotFound {
+	if resp := postJSON(t, ts.URL+"/query", QueryRequest{Graph: a.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("evicted graph: status %d, want 404", resp.StatusCode)
 	}
-	if resp := postJSON(t, ts.URL+"/query", queryRequest{Graph: c.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusOK {
+	if resp := postJSON(t, ts.URL+"/query", QueryRequest{Graph: c.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusOK {
 		t.Errorf("fresh graph: status %d, want 200", resp.StatusCode)
 	}
 }
@@ -285,6 +285,66 @@ func TestServerHealthz(t *testing.T) {
 	}
 }
 
+// TestServerReadyzDrain pins the liveness/readiness split: /readyz
+// mirrors the drain state while /healthz stays 200 throughout, so a
+// router health-probing /readyz stops routing to a draining backend
+// that is still alive and still finishing in-flight work.
+func TestServerReadyzDrain(t *testing.T) {
+	ts, s := newTestServer(t, 0)
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain: status %d, want 200", got)
+	}
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain: status %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz during drain: status %d, want 200 (liveness is not readiness)", got)
+	}
+	// A draining server still answers queries: drain refuses new
+	// routing, not in-flight or direct traffic.
+	var info GraphInfo
+	if resp := postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "grid", N: 9, Seed: 1}, &info); resp.StatusCode != http.StatusOK {
+		t.Errorf("/generate during drain: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerNotReadyWithoutRegistry: a server constructed before its
+// registry exists reports not-ready until SetReady flips it.
+func TestServerNotReadyWithoutRegistry(t *testing.T) {
+	s := New(nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with nil registry: status %d, want 503", resp.StatusCode)
+	}
+	s.SetReady(true)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after SetReady: status %d, want 200", resp.StatusCode)
+	}
+}
+
 // TestServerReweight is the live-reweighting e2e: load a graph, repair
 // it through POST /reweight, and check that the new fingerprint serves
 // exact distances for the edited graph while the old fingerprint 404s —
@@ -292,8 +352,8 @@ func TestServerHealthz(t *testing.T) {
 func TestServerReweight(t *testing.T) {
 	ts, _ := newTestServer(t, 0)
 
-	var info graphInfo
-	if resp := postJSON(t, ts.URL+"/generate", generateRequest{Kind: "grid", N: 49, Seed: 7}, &info); resp.StatusCode != http.StatusOK {
+	var info GraphInfo
+	if resp := postJSON(t, ts.URL+"/generate", GenerateRequest{Kind: "grid", N: 49, Seed: 7}, &info); resp.StatusCode != http.StatusOK {
 		t.Fatalf("/generate status %d", resp.StatusCode)
 	}
 	g, err := graph.NamedGenerator("grid", 49, 7)
@@ -306,8 +366,8 @@ func TestServerReweight(t *testing.T) {
 		{float64(edges[1].U), float64(edges[1].V), 0},
 	}
 
-	var rw reweightResponse
-	if resp := postJSON(t, ts.URL+"/reweight", reweightRequest{Graph: info.Graph, Edits: edits}, &rw); resp.StatusCode != http.StatusOK {
+	var rw ReweightResponse
+	if resp := postJSON(t, ts.URL+"/reweight", ReweightRequest{Graph: info.Graph, Edits: edits}, &rw); resp.StatusCode != http.StatusOK {
 		t.Fatalf("/reweight status %d", resp.StatusCode)
 	}
 	if rw.Graph == info.Graph {
@@ -318,7 +378,7 @@ func TestServerReweight(t *testing.T) {
 	}
 
 	// Old id is gone; new id serves the edited graph's distances.
-	if resp := postJSON(t, ts.URL+"/query", queryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusNotFound {
+	if resp := postJSON(t, ts.URL+"/query", QueryRequest{Graph: info.Graph, Pairs: [][2]int{{0, 1}}}, nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("old fingerprint: status %d, want 404", resp.StatusCode)
 	}
 	g2, err := apsp.ApplyEdits(g, []apsp.EdgeEdit{
@@ -333,8 +393,8 @@ func TestServerReweight(t *testing.T) {
 	}
 	want := apsp.FloydWarshallPaths(g2)
 	pairs := [][2]int{{0, 48}, {edges[0].U, edges[0].V}, {6, 42}}
-	var qr queryResponse
-	if resp := postJSON(t, ts.URL+"/query", queryRequest{Graph: rw.Graph, Pairs: pairs, Paths: true}, &qr); resp.StatusCode != http.StatusOK {
+	var qr QueryResponse
+	if resp := postJSON(t, ts.URL+"/query", QueryRequest{Graph: rw.Graph, Pairs: pairs, Paths: true}, &qr); resp.StatusCode != http.StatusOK {
 		t.Fatalf("/query on new fingerprint: status %d", resp.StatusCode)
 	}
 	for i, p := range pairs {
@@ -347,13 +407,13 @@ func TestServerReweight(t *testing.T) {
 	}
 
 	// Error paths: unknown graph 404s, structural edits 400.
-	if resp := postJSON(t, ts.URL+"/reweight", reweightRequest{Graph: info.Graph, Edits: edits}, nil); resp.StatusCode != http.StatusNotFound {
+	if resp := postJSON(t, ts.URL+"/reweight", ReweightRequest{Graph: info.Graph, Edits: edits}, nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("reweight of swapped-out fingerprint: status %d, want 404", resp.StatusCode)
 	}
-	if resp := postJSON(t, ts.URL+"/reweight", reweightRequest{Graph: rw.Graph, Edits: [][3]float64{{0, 48, 1}}}, nil); resp.StatusCode != http.StatusBadRequest {
+	if resp := postJSON(t, ts.URL+"/reweight", ReweightRequest{Graph: rw.Graph, Edits: [][3]float64{{0, 48, 1}}}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("reweight adding an edge: status %d, want 400", resp.StatusCode)
 	}
-	if resp := postJSON(t, ts.URL+"/reweight", reweightRequest{Graph: rw.Graph}, nil); resp.StatusCode != http.StatusBadRequest {
+	if resp := postJSON(t, ts.URL+"/reweight", ReweightRequest{Graph: rw.Graph}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("reweight with no edits: status %d, want 400", resp.StatusCode)
 	}
 
