@@ -154,9 +154,12 @@ type Options struct {
 	Kernel Kernel
 	// Wire selects the sparse solver's payload encoding: WirePacked
 	// (default — packed payloads plus symbolic-fill skipping of
-	// provably empty broadcasts) or WireDense (raw dense payloads,
-	// nothing skipped; the ablation baseline). Distances are
-	// bit-identical either way; only measured costs differ.
+	// provably empty broadcasts), WireDense (raw dense payloads,
+	// nothing skipped; the ablation baseline), or WirePruned (packed
+	// plus the symbolic demand sweep: each broadcast ships only the
+	// payload rows/columns some receiver can fold into a finite
+	// output). Distances are bit-identical in all three; only measured
+	// costs differ.
 	Wire WireFormat
 	// Executor selects the sparse solver's plan execution engine:
 	// ExecDataflow (default — the lowered dependency graph on a
@@ -197,6 +200,10 @@ const (
 	WirePacked = apsp.WirePacked
 	// WireDense ships raw dense payloads and skips nothing.
 	WireDense = apsp.WireDense
+	// WirePruned adds the symbolic demand sweep on top of WirePacked:
+	// plans carry per-op prune descriptors and broadcasts ship only
+	// the demanded rows/columns, never more words than WirePacked.
+	WirePruned = apsp.WirePruned
 )
 
 // Executor selects the sparse solver's plan execution engine; see
@@ -389,7 +396,12 @@ func SolveWithPathsOptions(g *Graph, opts Options) (*PathResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return apsp.SuccessorsFromDist(g, res.Dist)
+	pr, err := apsp.SuccessorsFromDist(g, res.Dist)
+	if err != nil {
+		return nil, err
+	}
+	pr.Report = res.Report
+	return pr, nil
 }
 
 // SolveWithPaths computes APSP with path reconstruction: the returned

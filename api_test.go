@@ -237,4 +237,30 @@ func TestNewOracleRegistryCoalescesAndCounts(t *testing.T) {
 	if fp := GraphFingerprint(g); fp != GraphFingerprint(g.Clone()) {
 		t.Error("clone changed the fingerprint")
 	}
+	// Sequential solvers move no wire traffic.
+	if st.WordsMoved != 0 {
+		t.Errorf("SeqFW registry moved %d words, want 0", st.WordsMoved)
+	}
+}
+
+// TestOracleRegistryAccountsWordsMoved: a registry backed by the
+// distributed sparse solver must surface the solve's wire traffic in
+// Stats, with the per-phase breakdown partitioning the total.
+func TestOracleRegistryAccountsWordsMoved(t *testing.T) {
+	g := Grid2D(6, 6, UnitWeights)
+	reg := NewOracleRegistry(Options{P: 9}, 0)
+	if _, err := reg.Get(g); err != nil {
+		t.Fatal(err)
+	}
+	st := reg.Stats()
+	if st.WordsMoved <= 0 {
+		t.Fatalf("distributed solve reported %d words moved, want > 0", st.WordsMoved)
+	}
+	var sum int64
+	for _, w := range st.WordsByPhase {
+		sum += w
+	}
+	if sum != st.WordsMoved {
+		t.Errorf("per-phase words sum %d != total %d", sum, st.WordsMoved)
+	}
 }

@@ -534,15 +534,31 @@ func (x *dfRun) sendMsg(n *dfNode, i int, data []float64) {
 }
 
 func (x *dfRun) pack(m *semiring.Matrix) []float64 {
-	if x.pl.Wire == WireDense {
+	switch x.pl.Wire {
+	case WireDense:
 		return append([]float64(nil), m.V...)
+	case WirePruned:
+		return semiring.PackPruned(m, nil, nil, false)
+	default:
+		return semiring.PackMatrix(m)
 	}
-	return semiring.PackMatrix(m)
+}
+
+// packPruned packs a broadcast payload under the op's frozen demand
+// descriptor; identical to planExec.packPruned.
+func (x *dfRun) packPruned(m *semiring.Matrix, prune *PruneSpec) []float64 {
+	if x.pl.Wire == WirePruned && prune != nil {
+		return semiring.PackPruned(m, prune.Rows, prune.Cols, prune.ZeroDiag)
+	}
+	return x.pack(m)
 }
 
 func (x *dfRun) unpack(data []float64, rows, cols int) *semiring.Matrix {
 	if x.pl.Wire == WireDense {
-		return semiring.FromSlice(rows, cols, data)
+		// Copy: the payload backing array is shared by every receiver of
+		// the collective (and retained in the message slot), so an
+		// aliasing decode would let a block mutation corrupt siblings.
+		return semiring.FromSlice(rows, cols, append([]float64(nil), data...))
 	}
 	return semiring.UnpackMatrix(data, rows, cols)
 }
@@ -554,7 +570,7 @@ func (x *dfRun) unpack(data []float64, rows, cols int) *semiring.Matrix {
 func (x *dfRun) bcastData(n *dfNode, op *BcastOp, rs *dfRankState) []float64 {
 	var data []float64
 	if int(n.rank) == op.Root {
-		data = x.pack(rs.A)
+		data = x.packPruned(rs.A, op.Prune)
 	} else {
 		data = x.recvMsg(n, 0)
 	}
@@ -574,6 +590,24 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 	var lv *planLevel
 	if n.level >= 0 {
 		lv = &x.pl.Levels[n.level]
+	}
+	// Classify this node's sends for the words-by-phase breakdown,
+	// matching the sticky per-phase classes planExec.level sets. Only
+	// sending kinds matter; the rank's nodes are serialized by program
+	// order, so the per-rank sticky class is race-free.
+	switch n.kind {
+	case dfR2:
+		x.led.SetSendClass(rank, comm.SendR2)
+	case dfR3:
+		x.led.SetSendClass(rank, comm.SendR3)
+	case dfR4Col, dfR4Row:
+		x.led.SetSendClass(rank, comm.SendR4Panel)
+	case dfReduce:
+		x.led.SetSendClass(rank, comm.SendR4Reduce)
+	case dfSeq:
+		x.led.SetSendClass(rank, comm.SendR4Seq)
+	case dfTrans:
+		x.led.SetSendClass(rank, comm.SendTrans)
 	}
 	switch n.kind {
 	case dfInit:
@@ -680,11 +714,11 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 		op := &lv.R4Seq[n.op]
 		si := 0
 		if rank == op.AikOwner && op.Owner != op.AikOwner {
-			x.sendMsg(n, si, x.pack(rs.A))
+			x.sendMsg(n, si, x.packPruned(rs.A, op.PruneA))
 			si++
 		}
 		if rank == op.AkjOwner && op.Owner != op.AkjOwner {
-			x.sendMsg(n, si, x.pack(rs.A))
+			x.sendMsg(n, si, x.packPruned(rs.A, op.PruneB))
 		}
 		if rank == op.Owner {
 			ri := 0

@@ -12,7 +12,7 @@ import (
 )
 
 // TestExecutorEquality is the dataflow executor's referee: for several
-// graph families × both wire formats × both R4 strategies, the machine
+// graph families × all wire formats × both R4 strategies, the machine
 // and dataflow executors must agree on every observable — distances
 // bit for bit, the full cost report, the per-level phase breakdown and
 // the traffic matrix. Together with TestSparseCostGolden (which pins
@@ -32,7 +32,7 @@ func TestExecutorEquality(t *testing.T) {
 		{"star", graph.Star(60, graph.UnitWeights), 9},
 	}
 	for _, tc := range graphs {
-		for _, wire := range []WireFormat{WirePacked, WireDense} {
+		for _, wire := range []WireFormat{WirePacked, WireDense, WirePruned} {
 			for _, strat := range []R4Strategy{R4Mapped, R4Sequential} {
 				name := fmt.Sprintf("%s/%v/r4=%d", tc.name, wire, strat)
 				mach, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{

@@ -112,22 +112,38 @@ type planExec struct {
 // pack encodes a block body for the wire exactly as the fused solver
 // did: the packed encoding in WirePacked mode (the machine charges
 // bandwidth per payload word, so the packed length IS the charged
-// cost), a plain copy in WireDense mode. Always copies — collective
-// receivers share the payload's backing array, and the executor's
-// scratch arena must never back a payload for the same reason.
+// cost), a plain copy in WireDense mode, and the demand-aware encoding
+// (numeric row/column trim, no symbolic descriptor) in WirePruned
+// mode. Always copies — collective receivers share the payload's
+// backing array, and the executor's scratch arena must never back a
+// payload for the same reason.
 func (e *planExec) pack(m *semiring.Matrix) []float64 {
-	if e.pl.Wire == WireDense {
+	switch e.pl.Wire {
+	case WireDense:
 		return append([]float64(nil), m.V...)
+	case WirePruned:
+		return semiring.PackPruned(m, nil, nil, false)
+	default:
+		return semiring.PackMatrix(m)
 	}
-	return semiring.PackMatrix(m)
+}
+
+// packPruned is pack plus the op's frozen demand descriptor: under
+// WirePruned the payload ships only the rows/columns some receiver can
+// use (see demand.go); the other wire modes ignore the descriptor.
+func (e *planExec) packPruned(m *semiring.Matrix, prune *PruneSpec) []float64 {
+	if e.pl.Wire == WirePruned && prune != nil {
+		return semiring.PackPruned(m, prune.Rows, prune.Cols, prune.ZeroDiag)
+	}
+	return e.pack(m)
 }
 
 // unpack decodes a received payload into a rows×cols block. The result
-// may share the payload's backing array and must be treated as
-// read-only.
+// always owns its body — never the payload's backing array, which every
+// sibling receiver of the collective shares.
 func (e *planExec) unpack(data []float64, rows, cols int) *semiring.Matrix {
 	if e.pl.Wire == WireDense {
-		return semiring.FromSlice(rows, cols, data)
+		return semiring.FromSlice(rows, cols, append([]float64(nil), data...))
 	}
 	return semiring.UnpackMatrix(data, rows, cols)
 }
@@ -149,11 +165,12 @@ func (e *planExec) level(lv *planLevel, st *rankLevel) {
 	}
 
 	// ---- R_l^2: pivot broadcasts and panel updates. ----
+	e.ctx.SetSendClass(comm.SendR2)
 	for _, x := range st.R2 {
 		op := &lv.R2[x]
 		var payload []float64
 		if rank == op.Root {
-			payload = e.pack(e.A) // copy: receivers share the buffer
+			payload = e.packPruned(e.A, op.Prune) // copy: receivers share the buffer
 		}
 		data := e.ctx.Bcast(op.Group, op.Root, op.Tag, payload)
 		if !contains(op.Consumers, rank) {
@@ -170,12 +187,13 @@ func (e *planExec) level(lv *planLevel, st *rankLevel) {
 	}
 
 	// ---- R_l^3: panel broadcasts and the one-unit update. ----
+	e.ctx.SetSendClass(comm.SendR3)
 	var rowPanel, colPanel *semiring.Matrix
 	for _, x := range st.R3 {
 		op := &lv.R3[x]
 		var payload []float64
 		if rank == op.Root {
-			payload = e.pack(e.A)
+			payload = e.packPruned(e.A, op.Prune)
 		}
 		data := e.ctx.Bcast(op.Group, op.Root, op.Tag, payload)
 		if !contains(op.Consumers, rank) {
@@ -201,12 +219,13 @@ func (e *planExec) level(lv *planLevel, st *rankLevel) {
 
 	// ---- R_l^4, mapped strategy: panel broadcasts to the unit
 	// processors, unit products, binomial reduces. ----
+	e.ctx.SetSendClass(comm.SendR4Panel)
 	var unit, unitAik, unitAkj *semiring.Matrix
 	for _, x := range st.R4Col {
 		op := &lv.R4Col[x]
 		var payload []float64
 		if rank == op.Root {
-			payload = e.pack(e.A)
+			payload = e.packPruned(e.A, op.Prune)
 		}
 		data := e.ctx.Bcast(op.Group, op.Root, op.Tag, payload)
 		if contains(op.Consumers, rank) {
@@ -218,7 +237,7 @@ func (e *planExec) level(lv *planLevel, st *rankLevel) {
 		op := &lv.R4Row[x]
 		var payload []float64
 		if rank == op.Root {
-			payload = e.pack(e.A)
+			payload = e.packPruned(e.A, op.Prune)
 		}
 		data := e.ctx.Bcast(op.Group, op.Root, op.Tag, payload)
 		if contains(op.Consumers, rank) {
@@ -234,6 +253,7 @@ func (e *planExec) level(lv *planLevel, st *rankLevel) {
 		e.ctx.AddMemory(int64(len(unit.V)))
 		e.ctx.AddFlops(e.kern.MulAddInto(unit, unitAik, unitAkj))
 	}
+	e.ctx.SetSendClass(comm.SendR4Reduce)
 	for _, x := range st.Reduce {
 		op := &lv.R4Reduce[x]
 		var data []float64
@@ -258,13 +278,14 @@ func (e *planExec) level(lv *planLevel, st *rankLevel) {
 
 	// ---- R_l^4, sequential ablation: panel owners send, the block
 	// owner folds locally. ----
+	e.ctx.SetSendClass(comm.SendR4Seq)
 	for _, x := range st.Seq {
 		op := &lv.R4Seq[x]
 		if rank == op.AikOwner && op.Owner != op.AikOwner {
-			e.ctx.Send(op.Owner, op.TagA, e.pack(e.A))
+			e.ctx.Send(op.Owner, op.TagA, e.packPruned(e.A, op.PruneA))
 		}
 		if rank == op.AkjOwner && op.Owner != op.AkjOwner {
-			e.ctx.Send(op.Owner, op.TagB, e.pack(e.A))
+			e.ctx.Send(op.Owner, op.TagB, e.packPruned(e.A, op.PruneB))
 		}
 		if rank == op.Owner {
 			var aik, akj *semiring.Matrix
@@ -289,7 +310,10 @@ func (e *planExec) level(lv *planLevel, st *rankLevel) {
 		}
 	}
 
-	// ---- Transpose sends (Algorithm 1 line 25). ----
+	// ---- Transpose sends (Algorithm 1 line 25). Never symbolically
+	// pruned — the receiver's block BECOMES the payload (replace, not
+	// fold) — but the pack-time numeric trim still applies. ----
+	e.ctx.SetSendClass(comm.SendTrans)
 	for _, x := range st.Trans {
 		op := &lv.Trans[x]
 		if rank == op.Src {

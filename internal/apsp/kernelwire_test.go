@@ -81,11 +81,11 @@ func TestDistributedSolversKernelInvariant(t *testing.T) {
 // TestSparseAPSPMatchesClassicalFWAllKernels is the end-to-end property
 // test of the plan/execute, kernel and wire layers together: for random
 // graphs from several families, EVERY kernel (including KernelSparse)
-// and BOTH wire formats, the distributed sparse solver's distances are
-// bit-identical to the sequential ClassicalFW reference — and within a
-// wire format, the charged cost report is identical across kernels and
-// across cold (plan built this solve) vs warm (plan fetched from a
-// cache) execution. Weights are small random integers: integer sums are
+// and ALL THREE wire formats, the distributed sparse solver's distances
+// are bit-identical to the sequential ClassicalFW reference — and
+// within a wire format, the charged cost report is identical across
+// kernels and across cold (plan built this solve) vs warm (plan fetched
+// from a cache) execution. Weights are small random integers: integer sums are
 // exact in float64, so the distributed elimination and the sequential
 // sweep fold path sums to identical bits even though they associate
 // them differently.
@@ -104,7 +104,7 @@ func TestSparseAPSPMatchesClassicalFWAllKernels(t *testing.T) {
 	}
 	for _, tc := range graphs {
 		want := classicalReference(tc.g)
-		for _, wire := range []WireFormat{WirePacked, WireDense} {
+		for _, wire := range []WireFormat{WirePacked, WireDense, WirePruned} {
 			cache := NewPlanCache()
 			var base *DistResult
 			for _, kern := range semiring.Kernels() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"sparseapsp/internal/comm"
 	"sparseapsp/internal/graph"
 	"sparseapsp/internal/semiring"
 )
@@ -13,8 +14,14 @@ import (
 // APSP library typically wants on top of the distances.
 type PathResult struct {
 	Dist *semiring.Matrix
-	n    int
-	next []int32 // next[u*n+v]: vertex after u on a shortest u→v path, -1 if none
+	// Report carries the simulated cost report of the solve (or warm
+	// re-solve) that produced Dist — including the per-phase
+	// words-moved breakdown the serving layer aggregates into /statsz.
+	// Zero for purely sequential solvers and for incrementally
+	// repaired results, which move no simulated words.
+	Report comm.Report
+	n      int
+	next   []int32 // next[u*n+v]: vertex after u on a shortest u→v path, -1 if none
 }
 
 // FloydWarshallPaths runs the classical algorithm while maintaining

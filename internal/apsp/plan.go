@@ -53,6 +53,9 @@ type BcastOp struct {
 	BI, BJ    int
 	Consumers []int
 	Kind      uint8
+	// Prune is the symbolic demand descriptor of the payload under
+	// WirePruned (nil = full, every entry demanded); see demand.go.
+	Prune *PruneSpec
 }
 
 // UnitOp assigns the computing unit A(I,K) ⊗ A(K,J) of Corollary 5.5
@@ -79,6 +82,9 @@ type SeqOp struct {
 	AikOwner, AkjOwner int
 	Owner              int
 	TagA, TagB         int
+	// PruneA / PruneB are the WirePruned demand descriptors of the
+	// A(BI,K) and A(K,BJ) payloads (nil = full); see demand.go.
+	PruneA, PruneB *PruneSpec
 }
 
 // TransOp mirrors the computed lower half of R_l^4 to its transpose
@@ -215,6 +221,8 @@ func (p *Plan) Hash() string {
 			}
 			for _, s := range lv.R4Seq {
 				w.ints(s.K, s.BI, s.BJ, s.AikOwner, s.AkjOwner, s.Owner, s.TagA, s.TagB)
+				w.prune(s.PruneA)
+				w.prune(s.PruneB)
 			}
 			for _, t := range lv.Trans {
 				w.ints(t.Src, t.Dst, t.Tag, t.BI, t.BJ)
@@ -246,6 +254,30 @@ func (w *hashWriter) bcast(op BcastOp) {
 	w.intSlice(op.Group)
 	w.ints(op.Root, op.Tag, op.BI, op.BJ, int(op.Kind))
 	w.intSlice(op.Consumers)
+	w.prune(op.Prune)
+}
+
+func (w *hashWriter) prune(p *PruneSpec) {
+	if p == nil {
+		w.ints(-1)
+		return
+	}
+	w.ints(boolInt(p.ZeroDiag))
+	w.int32Axis(p.Rows)
+	w.int32Axis(p.Cols)
+}
+
+// int32Axis hashes one PruneSpec axis, keeping nil ("all") distinct
+// from empty ("none").
+func (w *hashWriter) int32Axis(vs []int32) {
+	if vs == nil {
+		w.ints(-2)
+		return
+	}
+	w.ints(len(vs))
+	for _, v := range vs {
+		w.ints(int(v))
+	}
 }
 
 func boolInt(b bool) int {
@@ -292,6 +324,12 @@ func BuildPlan(ly *Layout, p int, wire WireFormat, r4 R4Strategy) (*Plan, error)
 			return nil, err
 		}
 		pl.Levels = append(pl.Levels, lv)
+	}
+	if wire == WirePruned {
+		// Demand sweep (demand.go): bake the per-op prune descriptors
+		// into the schedule. Purely symbolic — warm solves and repairs
+		// replay the frozen descriptors at zero per-solve cost.
+		attachPrunes(pl, ly)
 	}
 	pl.Tags = b.tags
 	pl.ranks = indexRanks(pl)

@@ -100,6 +100,24 @@ var goldenTable = map[goldenKey]goldenRow{
 	{"star", "dense", 0}:    {12, 3064, 4410, 26, 4248, 1520, "978ac9a795cb7eba"},
 	{"star", "dense", 1}:    {15, 3142, 4430, 24, 4246, 1520, "978ac9a795cb7eba"},
 	{"star", "dc", 0}:       {44, 9900, 77850, 72, 16200, 1350, "978ac9a795cb7eba"},
+	// "pruned" rows were captured when the demand-pruned wire format
+	// landed. DistHash is identical to the packed/dense rows above —
+	// pruning elides only provably-absorbed entries — while bandwidth,
+	// words and (for the sparse-aware kernels' operand scans) flops
+	// drop. Message counts match packed exactly: pruning never changes
+	// the schedule, only payload sizes.
+	{"grid", "pruned", 0}:   {12, 2890, 60246, 26, 5882, 2304, "a2e3a57550113739"},
+	{"grid", "pruned", 1}:   {15, 3327, 62838, 24, 5720, 2223, "a2e3a57550113739"},
+	{"grid49", "pruned", 0}: {28, 7962, 102542, 222, 47546, 2856, "96e4aca675b3c7af"},
+	{"grid49", "pruned", 1}: {35, 7992, 99403, 210, 46510, 2856, "96e4aca675b3c7af"},
+	{"gnp", "pruned", 0}:    {12, 9654, 165693, 26, 12694, 3844, "60e3ad3fef80fe66"},
+	{"gnp", "pruned", 1}:    {15, 8969, 168315, 24, 11636, 3315, "60e3ad3fef80fe66"},
+	{"tree", "pruned", 0}:   {28, 1588, 13171, 204, 3820, 1764, "17b38d5f4c544f0b"},
+	{"tree", "pruned", 1}:   {33, 1479, 13127, 194, 3750, 1763, "17b38d5f4c544f0b"},
+	{"rmat", "pruned", 0}:   {12, 4685, 70012, 26, 6964, 2116, "83accd07a3c61b64"},
+	{"rmat", "pruned", 1}:   {15, 4528, 70614, 24, 6572, 1920, "83accd07a3c61b64"},
+	{"star", "pruned", 0}:   {12, 183, 4410, 26, 380, 1520, "978ac9a795cb7eba"},
+	{"star", "pruned", 1}:   {15, 228, 4430, 24, 378, 1520, "978ac9a795cb7eba"},
 }
 
 func checkGolden(t *testing.T, key goldenKey, res *DistResult) {
@@ -124,11 +142,11 @@ func checkGolden(t *testing.T, key goldenKey, res *DistResult) {
 
 // TestSparseCostGolden pins the planned executor to the fused solver
 // it replaced: identical distances (to the bit) and identical charged
-// costs for five graph families × both wire formats × both R4
+// costs for five graph families × all three wire formats × both R4
 // strategies — plus the DCAPSP schedule split.
 func TestSparseCostGolden(t *testing.T) {
 	for _, tc := range goldenCases() {
-		for _, wire := range []WireFormat{WirePacked, WireDense} {
+		for _, wire := range []WireFormat{WirePacked, WireDense, WirePruned} {
 			for _, r4 := range []R4Strategy{R4Mapped, R4Sequential} {
 				res, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 11, Wire: wire, R4Strategy: r4})
 				if err != nil {
@@ -153,7 +171,7 @@ func TestSparseCostGolden(t *testing.T) {
 // of the shared symbolic inputs.
 func TestPlanDeterministicAcrossRanks(t *testing.T) {
 	for _, tc := range goldenCases() {
-		for _, wire := range []WireFormat{WirePacked, WireDense} {
+		for _, wire := range []WireFormat{WirePacked, WireDense, WirePruned} {
 			var want string
 			for rank := 0; rank < tc.p; rank++ {
 				// Each "rank" recomputes the full symbolic phase from

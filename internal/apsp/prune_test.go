@@ -1,0 +1,105 @@
+package apsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparseapsp/internal/comm"
+	"sparseapsp/internal/graph"
+)
+
+// TestPrunedWireMatchesDense is the demand-pruned wire format's safety
+// contract, the communication-v2 counterpart of
+// TestPackedWireMatchesDense: across graph families, both executors
+// and both R4 strategies, wire=pruned distances are bit-identical to
+// wire=dense — pruning elides only entries every receiver provably
+// absorbs — while total words never exceed packed's and drop strictly
+// on the families with exploitable structure.
+func TestPrunedWireMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		p    int
+		// strictWin marks families where the demand sweep must beat the
+		// packed baseline outright on total words.
+		strictWin bool
+	}{
+		{"grid12", graph.Grid2D(12, 12, graph.RandomWeights(rng, 1, 10)), 49, true},
+		{"path", graph.Path(240, graph.UnitWeights), 49, true},
+		{"tree", graph.RandomTree(200, graph.UnitWeights, rng), 49, true},
+		{"star", graph.Star(120, graph.UnitWeights), 49, true},
+		{"two-cliques", disconnectedCliques(40), 9, false},
+		{"gnp-dense", graph.RandomGNP(60, 0.4, graph.RandomWeights(rng, 1, 5), rng), 9, false},
+	}
+	for _, tc := range cases {
+		for _, strat := range []R4Strategy{R4Mapped, R4Sequential} {
+			dense, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 7, Wire: WireDense, R4Strategy: strat})
+			if err != nil {
+				t.Fatalf("%s dense: %v", tc.name, err)
+			}
+			packed, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 7, Wire: WirePacked, R4Strategy: strat})
+			if err != nil {
+				t.Fatalf("%s packed: %v", tc.name, err)
+			}
+			for _, ex := range []Executor{ExecDataflow, ExecMachine} {
+				pruned, err := SparseAPSPWith(tc.g, tc.p, SparseOptions{Seed: 7, Wire: WirePruned, R4Strategy: strat, Executor: ex})
+				if err != nil {
+					t.Fatalf("%s pruned/%v: %v", tc.name, ex, err)
+				}
+				if !identicalMatrices(pruned.Dist, dense.Dist) {
+					t.Errorf("%s r4=%d %v: pruned distances differ from dense", tc.name, strat, ex)
+				}
+				if pruned.Report.TotalWords > packed.Report.TotalWords {
+					t.Errorf("%s r4=%d %v: pruned total words %d exceed packed %d",
+						tc.name, strat, ex, pruned.Report.TotalWords, packed.Report.TotalWords)
+				}
+				if pruned.Report.TotalMessages != packed.Report.TotalMessages {
+					t.Errorf("%s r4=%d %v: pruned message count %d differs from packed %d (pruning must not change the schedule)",
+						tc.name, strat, ex, pruned.Report.TotalMessages, packed.Report.TotalMessages)
+				}
+				if tc.strictWin && pruned.Report.TotalWords >= packed.Report.TotalWords {
+					t.Errorf("%s r4=%d %v: pruned total words %d not strictly below packed %d",
+						tc.name, strat, ex, pruned.Report.TotalWords, packed.Report.TotalWords)
+				}
+			}
+		}
+	}
+}
+
+// TestWordsByClassBreakdown pins the per-phase accounting: the class
+// counters partition TotalWords exactly, the classes land where the
+// schedule says they must (R4Seq traffic only under R4Sequential,
+// panel/reduce traffic only under R4Mapped, nothing unclassified), and
+// the breakdown is part of the executor-equality contract (Report is
+// DeepEqual-compared in TestExecutorEquality, WordsByClass included).
+func TestWordsByClassBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := graph.Grid2D(12, 12, graph.RandomWeights(rng, 1, 10))
+	for _, wire := range []WireFormat{WirePacked, WireDense, WirePruned} {
+		for _, strat := range []R4Strategy{R4Mapped, R4Sequential} {
+			res, err := SparseAPSPWith(g, 49, SparseOptions{Seed: 7, Wire: wire, R4Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum int64
+			for _, w := range res.Report.WordsByClass {
+				sum += w
+			}
+			if sum != res.Report.TotalWords {
+				t.Errorf("%v r4=%d: class words sum %d != total %d", wire, strat, sum, res.Report.TotalWords)
+			}
+			if w := res.Report.WordsByClass[comm.SendOther]; w != 0 {
+				t.Errorf("%v r4=%d: %d words left unclassified", wire, strat, w)
+			}
+			mapped := res.Report.WordsByClass[comm.SendR4Panel] + res.Report.WordsByClass[comm.SendR4Reduce]
+			seq := res.Report.WordsByClass[comm.SendR4Seq]
+			if strat == R4Mapped && (seq != 0 || mapped == 0) {
+				t.Errorf("%v mapped: r4-seq words %d (want 0), panel+reduce %d (want >0)", wire, seq, mapped)
+			}
+			if strat == R4Sequential && (mapped != 0 || seq == 0) {
+				t.Errorf("%v sequential: panel+reduce words %d (want 0), r4-seq %d (want >0)", wire, mapped, seq)
+			}
+		}
+	}
+}

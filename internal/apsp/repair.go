@@ -578,6 +578,7 @@ func (pl *Plan) repairFallback(g2 *graph.Graph, opts RepairOptions, st *RepairSt
 	if err != nil {
 		return nil, nil, *st, err
 	}
+	pr.Report = res.Report
 	st.RepairedColumns = g2.N()
 	return pr, g2, *st, nil
 }

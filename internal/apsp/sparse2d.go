@@ -81,25 +81,40 @@ const (
 	// block body and nothing is skipped. It exists as the ablation
 	// baseline for the packed-vs-dense bandwidth comparison.
 	WireDense
+	// WirePruned is the demand-pruned communication layer (v2): on top
+	// of WirePacked's skipping, BuildPlan runs the symbolic demand
+	// sweep of demand.go and every broadcast ships only the payload
+	// rows/columns at least one receiver can fold into a finite output
+	// (semiring.PackPruned, chosen per payload only when strictly
+	// smaller than the classic encodings). Distances stay bit-identical
+	// to WireDense; WirePacked is the ablation baseline for the words
+	// saved by demand pruning alone.
+	WirePruned
 )
 
 func (w WireFormat) String() string {
-	if w == WireDense {
+	switch w {
+	case WireDense:
 		return "dense"
+	case WirePruned:
+		return "pruned"
+	default:
+		return "packed"
 	}
-	return "packed"
 }
 
-// ParseWireFormat maps a wire-format name ("packed", "dense"; "" means
-// packed) to its WireFormat value.
+// ParseWireFormat maps a wire-format name ("packed", "dense",
+// "pruned"; "" means packed) to its WireFormat value.
 func ParseWireFormat(s string) (WireFormat, error) {
 	switch s {
 	case "", "packed":
 		return WirePacked, nil
 	case "dense":
 		return WireDense, nil
+	case "pruned":
+		return WirePruned, nil
 	default:
-		return 0, fmt.Errorf("apsp: unknown wire format %q (valid: packed, dense)", s)
+		return 0, fmt.Errorf("apsp: unknown wire format %q (valid: packed, dense, pruned)", s)
 	}
 }
 

@@ -37,6 +37,7 @@ func (c *Ctx) Send(dst, tag int, data []float64) {
 	st.clock.addMessage(int64(len(data)))
 	st.sentMsgs++
 	st.sentWords += int64(len(data))
+	st.sentByClass[st.sendClass] += int64(len(data))
 	if st.sentTo == nil {
 		st.sentTo = make([]int64, c.machine.p)
 	}

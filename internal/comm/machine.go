@@ -89,6 +89,9 @@ type rankState struct {
 	localFlops int64       // flops performed by this rank itself (no max-merge)
 	sentTo     []int64     // words sent per destination rank (lazily sized)
 	marks      []markEntry // phase boundaries recorded by Ctx.Mark
+
+	sendClass   SendClass             // phase label charged by subsequent sends
+	sentByClass [NumSendClasses]int64 // words sent per phase class
 }
 
 // Machine is a simulated distributed-memory machine with p ranks.
@@ -204,14 +207,15 @@ func criticalPathOf(states []rankState) Cost {
 // Report summarizes a finished run.
 type Report struct {
 	P             int
-	Critical      Cost    // critical-path cost (the quantities Table 2 bounds)
-	TotalMessages int64   // aggregate messages sent by all ranks
-	TotalWords    int64   // aggregate words sent by all ranks
-	MaxMemory     int64   // maximum per-rank peak resident words
-	PerRank       []Cost  // each rank's final clock
-	PeakWords     []int64 // each rank's peak registered memory
-	LocalFlops    []int64 // each rank's own computation (no clock merging)
-	LocalSent     []int64 // each rank's own sent words
+	Critical      Cost                  // critical-path cost (the quantities Table 2 bounds)
+	TotalMessages int64                 // aggregate messages sent by all ranks
+	TotalWords    int64                 // aggregate words sent by all ranks
+	MaxMemory     int64                 // maximum per-rank peak resident words
+	PerRank       []Cost                // each rank's final clock
+	PeakWords     []int64               // each rank's peak registered memory
+	LocalFlops    []int64               // each rank's own computation (no clock merging)
+	LocalSent     []int64               // each rank's own sent words
+	WordsByClass  [NumSendClasses]int64 // aggregate words sent per phase class (indexed by SendClass)
 }
 
 // Report returns the cost summary of everything executed so far.
@@ -240,6 +244,9 @@ func buildReport(p int, states []rankState) Report {
 		rep.PeakWords[i] = st.peakWords
 		rep.LocalFlops[i] = st.localFlops
 		rep.LocalSent[i] = st.sentWords
+		for c := 0; c < NumSendClasses; c++ {
+			rep.WordsByClass[c] += st.sentByClass[c]
+		}
 	}
 	return rep
 }

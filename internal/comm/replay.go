@@ -43,6 +43,7 @@ func (r *Replay) ChargeSend(src, dst int, words int64) Cost {
 	st.clock.addMessage(words)
 	st.sentMsgs++
 	st.sentWords += words
+	st.sentByClass[st.sendClass] += words
 	if st.sentTo == nil {
 		st.sentTo = make([]int64, r.p)
 	}

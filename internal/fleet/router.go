@@ -620,6 +620,13 @@ func addRegistry(a *server.RegistrySnapshot, b server.RegistrySnapshot) {
 	a.PlanHits += b.PlanHits
 	a.PlanEntries += b.PlanEntries
 	a.PlanBuildMs += b.PlanBuildMs
+	a.WordsMoved += b.WordsMoved
+	for phase, w := range b.WordsByPhase {
+		if a.WordsByPhase == nil {
+			a.WordsByPhase = make(map[string]int64, len(b.WordsByPhase))
+		}
+		a.WordsByPhase[phase] += w
+	}
 }
 
 func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) error {

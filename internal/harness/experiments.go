@@ -326,6 +326,73 @@ func WireComparison(cfg Config, n, p int) (*Table, error) {
 	return t, nil
 }
 
+// CommBreakdown runs experiment E22: the demand-pruned wire ablation
+// with a per-phase words-moved breakdown. Each workload is solved three
+// times — dense, packed (the E17 winner) and pruned (demand keep-lists
+// plus the R2 zero-diagonal drop) — and the table splits every wire's
+// traffic across the schedule phases (R2 pivots, R3 panels, R4 panel
+// broadcasts, R4 reduces, R4-sequential sends, transposes). Distances
+// are bit-identical across all three wires by construction
+// (prune_test.go pins it); message counts are identical between packed
+// and pruned because pruning shrinks payloads, never the schedule.
+//
+// The run fails (returns an error) if pruned ever moves more words
+// than packed on any workload — the chooser falls back to the classic
+// encodings whenever the keep-lists don't pay, so a regression here
+// means the chooser is broken. CI leans on this as the words-moved
+// smoke check.
+func CommBreakdown(cfg Config, n, p int) (*Table, error) {
+	t := &Table{
+		ID:    "E22",
+		Title: fmt.Sprintf("per-phase words moved by wire format at n=%d, p=%d", n, p),
+		Columns: []string{"workload", "wire", "W_total", "W_r2", "W_r3", "W_r4panel",
+			"W_r4reduce", "W_r4seq", "W_trans", "msgs", "packed/this"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := graph.RandomWeights(rng, 1, 10)
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star", graph.Star(n, w)},
+		{"tree", graph.RandomTree(n, w, rng)},
+		{"path", graph.Path(n, w)},
+		{"grid", gridOfN(n, w)},
+		{"gnp-avg4", graph.RandomGNP(n, 4/float64(n), w, rng)},
+	}
+	wires := []apsp.WireFormat{apsp.WireDense, apsp.WirePacked, apsp.WirePruned}
+	for _, wl := range workloads {
+		reports := make([]comm.Report, len(wires))
+		for i, wf := range wires {
+			opts := cfg.sparseOpts()
+			opts.Wire = wf
+			res, err := apsp.SparseAPSPWith(wl.g, p, opts)
+			if err != nil {
+				return nil, err
+			}
+			reports[i] = res.Report
+		}
+		packed, pruned := reports[1], reports[2]
+		if pruned.TotalWords > packed.TotalWords {
+			return nil, fmt.Errorf("comm: %s: pruned wire moved %d words > packed %d — chooser regression",
+				wl.name, pruned.TotalWords, packed.TotalWords)
+		}
+		for i, wf := range wires {
+			r := reports[i]
+			t.Add(wl.name, wf.String(), r.TotalWords,
+				r.WordsByClass[comm.SendR2], r.WordsByClass[comm.SendR3],
+				r.WordsByClass[comm.SendR4Panel], r.WordsByClass[comm.SendR4Reduce],
+				r.WordsByClass[comm.SendR4Seq], r.WordsByClass[comm.SendTrans],
+				r.TotalMessages,
+				float64(packed.TotalWords)/float64(r.TotalWords))
+		}
+	}
+	t.Note("pruned wins where the demand sweep proves receivers fold only a slice of each")
+	t.Note("payload (paths/trees) or where pivots are identity blocks the zero-diag drop")
+	t.Note("collapses to one word (stars); dense-filling grids keep packed's byte counts")
+	return t, nil
+}
+
 // gridOfN builds the largest square grid with at most n vertices.
 func gridOfN(n int, w graph.WeightFn) *graph.Graph {
 	side := int(math.Sqrt(float64(n)))

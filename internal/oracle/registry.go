@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sparseapsp/internal/apsp"
+	"sparseapsp/internal/comm"
 	"sparseapsp/internal/graph"
 	"sparseapsp/internal/semiring"
 )
@@ -67,6 +68,12 @@ type Registry struct {
 	reweights       int64
 	repairNanos     int64
 	repairFallbacks int64
+	// Simulated communication totals across every solve (and repair
+	// fallback) this registry ever ran, cumulative like the query
+	// counters: the serving-layer view of the words the wire format
+	// actually moved, per schedule phase.
+	wordsMoved   int64
+	wordsByClass [comm.NumSendClasses]int64
 	// activeSolves counts solves and repairs executing right now —
 	// work the registry owns even after the HTTP request (or caller)
 	// that triggered it has gone away, because coalesced waiters and
@@ -130,6 +137,9 @@ func (r *Registry) Get(g *graph.Graph) (*Oracle, error) {
 	r.solves++
 	r.solveNanos += elapsed
 	r.endSolveLocked()
+	if err == nil {
+		r.addWordsLocked(o.res.Report)
+	}
 	if err != nil {
 		e.err = err
 		delete(r.entries, fp) // allow a retry; current waiters get err
@@ -257,6 +267,7 @@ func (r *Registry) Reweight(fp Fingerprint, edits []apsp.EdgeEdit) (Fingerprint,
 		e2.err = err
 		delete(r.entries, newFp)
 	} else {
+		r.addWordsLocked(res.Report)
 		o2 = FromResult(res, r.cfg.Pool)
 		o2.graph = g2
 		o2.shared = &r.queries
@@ -430,6 +441,24 @@ type Stats struct {
 	PlanHits       int64
 	PlanEntries    int
 	PlanBuildNanos int64
+
+	// Simulated communication totals over every solve and repair
+	// fallback: WordsMoved is the all-rank words-sent sum, and
+	// WordsByPhase splits it by schedule phase (keys are the
+	// comm.SendClass names: "r2", "r3", "r4-panel", "r4-reduce",
+	// "r4-seq", "trans"; zero classes are omitted). Both stay zero for
+	// solvers that run no simulated machine.
+	WordsMoved   int64
+	WordsByPhase map[string]int64
+}
+
+// addWordsLocked folds one solve's cost report into the cumulative
+// communication totals. Callers hold r.mu.
+func (r *Registry) addWordsLocked(rep comm.Report) {
+	r.wordsMoved += rep.TotalWords
+	for c, w := range rep.WordsByClass {
+		r.wordsByClass[c] += w
+	}
 }
 
 // Stats returns the registry counters at this instant.
@@ -451,6 +480,16 @@ func (r *Registry) Stats() Stats {
 		Reweights:       r.reweights,
 		RepairFallbacks: r.repairFallbacks,
 		RepairNanos:     r.repairNanos,
+
+		WordsMoved: r.wordsMoved,
+	}
+	for c, w := range r.wordsByClass {
+		if w != 0 {
+			if s.WordsByPhase == nil {
+				s.WordsByPhase = make(map[string]int64, comm.NumSendClasses)
+			}
+			s.WordsByPhase[comm.SendClass(c).String()] = w
+		}
 	}
 	s.QueriesServed = r.queries.served.Load()
 	s.QueriesInFlight = r.queries.inFlight.Load()

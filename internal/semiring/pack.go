@@ -19,6 +19,23 @@ import (
 //	[packSparse, nnz, i0, v0, i1, v1, ..] 2 + 2·nnz words: flat index +
 //	                                      value pairs, ascending index
 //
+// PackPruned adds a fourth, demand-aware encoding (the "pruned" wire
+// format of the communication-v2 layer):
+//
+//	[packPruned, nr, nc, r0..r(nr-1), c0..c(nc-1), body]
+//	                                      3 + nr + nc + nr·nc words: the
+//	                                      kept-rows × kept-cols submatrix,
+//	                                      row-major, preceded by the
+//	                                      ascending row and column index
+//	                                      lists
+//
+// Entries outside the kept rectangle decode to Inf: the sender only
+// ships rows/columns some receiver can fold into a finite output (the
+// plan's symbolic demand), further trimmed to the rows/columns that are
+// numerically non-empty. PackPruned picks whichever of the four
+// encodings is smallest, so "pruned" payloads are never larger than
+// "packed" ones for the same demand.
+//
 // The tag and indices are stored as float64 — the simulated machine
 // moves words, not bytes, and flat indices below 2^53 are exact. The
 // receiver knows the block's dimensions from the shared Layout, so
@@ -27,6 +44,7 @@ const (
 	packEmpty  = 0
 	packDense  = 1
 	packSparse = 2
+	packPruned = 3
 )
 
 // PackedLen returns the wire length Pack would produce for v without
@@ -79,11 +97,13 @@ func Pack(v []float64) []float64 {
 	return out
 }
 
-// Unpack decodes a Pack payload back to a length-n row-major body.
-// For the dense encoding the returned slice aliases payload (matching
-// the zero-copy semantics of the simulated collectives, whose receivers
-// must treat broadcast data as read-only); the empty and sparse
-// encodings allocate.
+// Unpack decodes a Pack payload back to a length-n row-major body. The
+// returned slice is always freshly allocated and never aliases payload:
+// the simulated collectives hand every receiver the same backing array,
+// so an aliasing decode would let one receiver's block mutation
+// silently corrupt any retained payload buffer (and every sibling
+// receiver). Pruned payloads carry their own shape and cannot be
+// decoded by Unpack; use UnpackPruned / UnpackMatrix.
 func Unpack(payload []float64, n int) []float64 {
 	if len(payload) == 0 {
 		panic("semiring: Unpack of empty payload")
@@ -102,7 +122,9 @@ func Unpack(payload []float64, n int) []float64 {
 		if len(payload) != 1+n {
 			panic(fmt.Sprintf("semiring: dense encoding %d words for n=%d", len(payload), n))
 		}
-		return payload[1:]
+		return append([]float64(nil), payload[1:]...)
+	case packPruned:
+		panic("semiring: pruned payload needs its block shape; use UnpackPruned")
 	case packSparse:
 		if len(payload) < 2 {
 			panic("semiring: truncated sparse encoding")
@@ -131,8 +153,143 @@ func Unpack(payload []float64, n int) []float64 {
 // PackMatrix encodes m's body for the wire.
 func PackMatrix(m *Matrix) []float64 { return Pack(m.V) }
 
-// UnpackMatrix decodes a PackMatrix payload into a rows×cols matrix.
-// Like Unpack, the dense encoding shares the payload's backing array.
+// UnpackMatrix decodes a PackMatrix or PackPruned payload into a
+// rows×cols matrix. Like Unpack, the result owns its body and never
+// aliases payload.
 func UnpackMatrix(payload []float64, rows, cols int) *Matrix {
+	if len(payload) > 0 && payload[0] == packPruned {
+		return unpackPrunedBody(payload, rows, cols)
+	}
 	return FromSlice(rows, cols, Unpack(payload, rows*cols))
+}
+
+// PackPruned encodes m for a receiver set whose symbolic demand is the
+// given row and column keep-lists (ascending; nil means "all rows" /
+// "all columns" — the `full` descriptor). Demanded rows/columns that
+// are numerically all-Inf inside the demanded rectangle are trimmed
+// too, then the smallest of the four encodings is chosen, so the
+// result is never larger than Pack(m.V). Entries outside the kept
+// rectangle decode to Inf — callers must only prune rows/columns that
+// provably fold to Inf at every receiver.
+//
+// dropZeroDiag additionally treats exact-zero diagonal entries as
+// absent for the keep decision. It is sound only for pivot payloads
+// D(k,k) consumed as A ⊕= A⊗D or A ⊕= D⊗A: the term a zero diagonal
+// entry contributes to output entry (i,t) is A[i,t]+0 — the value the
+// ⊕= fold already holds — so min(x,x) = x keeps the result
+// bit-identical whether or not the entry ships. A dropped entry that
+// still falls inside the kept rectangle ships anyway (with its true
+// value), which is equally exact.
+func PackPruned(m *Matrix, rows, cols []int32, dropZeroDiag bool) []float64 {
+	keepR, keepC := prunedKeep(m, rows, cols, dropZeroDiag)
+	if len(keepR) == 0 || len(keepC) == 0 {
+		return []float64{packEmpty}
+	}
+	prunedLen := 3 + len(keepR) + len(keepC) + len(keepR)*len(keepC)
+	if classic := PackedLen(m.V); classic <= prunedLen {
+		return Pack(m.V)
+	}
+	out := make([]float64, 0, prunedLen)
+	out = append(out, packPruned, float64(len(keepR)), float64(len(keepC)))
+	for _, r := range keepR {
+		out = append(out, float64(r))
+	}
+	for _, c := range keepC {
+		out = append(out, float64(c))
+	}
+	for _, r := range keepR {
+		row := m.V[int(r)*m.Cols : int(r)*m.Cols+m.Cols]
+		for _, c := range keepC {
+			out = append(out, row[c])
+		}
+	}
+	return out
+}
+
+// prunedKeep intersects the demand keep-lists with the numerically
+// non-empty rows/columns of m: a demanded row survives if it holds a
+// finite entry in some demanded column, and a demanded column survives
+// if it holds a finite entry in some surviving row. With dropZeroDiag,
+// an exact-zero diagonal entry does not count as finite (see
+// PackPruned).
+func prunedKeep(m *Matrix, rows, cols []int32, dropZeroDiag bool) (keepR, keepC []int32) {
+	demandC := cols
+	if demandC == nil {
+		demandC = make([]int32, m.Cols)
+		for c := range demandC {
+			demandC[c] = int32(c)
+		}
+	}
+	colAny := make([]bool, m.Cols)
+	scanRow := func(r int32) bool {
+		row := m.V[int(r)*m.Cols : int(r)*m.Cols+m.Cols]
+		any := false
+		for _, c := range demandC {
+			if math.IsInf(row[c], 1) {
+				continue
+			}
+			if dropZeroDiag && int(c) == int(r) && row[c] == 0 {
+				continue
+			}
+			any = true
+			colAny[c] = true
+		}
+		return any
+	}
+	if rows == nil {
+		for r := 0; r < m.Rows; r++ {
+			if scanRow(int32(r)) {
+				keepR = append(keepR, int32(r))
+			}
+		}
+	} else {
+		for _, r := range rows {
+			if scanRow(r) {
+				keepR = append(keepR, r)
+			}
+		}
+	}
+	for _, c := range demandC {
+		if colAny[c] {
+			keepC = append(keepC, c)
+		}
+	}
+	return keepR, keepC
+}
+
+// UnpackPruned decodes any block payload — the three Pack encodings or
+// the pruned one — into a rows×cols matrix that owns its body. Entries
+// outside a pruned payload's kept rectangle come back as Inf.
+func UnpackPruned(payload []float64, rows, cols int) *Matrix {
+	return UnpackMatrix(payload, rows, cols)
+}
+
+// unpackPrunedBody decodes the packPruned layout; malformed payloads
+// panic, mirroring Unpack's policy.
+func unpackPrunedBody(payload []float64, rows, cols int) *Matrix {
+	if len(payload) < 3 {
+		panic("semiring: truncated pruned encoding")
+	}
+	nr, nc := int(payload[1]), int(payload[2])
+	if nr < 0 || nc < 0 || len(payload) != 3+nr+nc+nr*nc {
+		panic(fmt.Sprintf("semiring: pruned encoding %d words for nr=%d nc=%d", len(payload), nr, nc))
+	}
+	m := NewMatrix(rows, cols)
+	rowIdx := payload[3 : 3+nr]
+	colIdx := payload[3+nr : 3+nr+nc]
+	body := payload[3+nr+nc:]
+	for i, rf := range rowIdx {
+		r := int(rf)
+		if r < 0 || r >= rows {
+			panic(fmt.Sprintf("semiring: pruned row index %d out of range [0,%d)", r, rows))
+		}
+		for j, cf := range colIdx {
+			c := int(cf)
+			if c < 0 || c >= cols {
+				panic(fmt.Sprintf("semiring: pruned col index %d out of range [0,%d)", c, cols))
+			}
+			m.V[r*cols+c] = body[i*nc+j]
+		}
+	}
+	return m
 }

@@ -437,6 +437,13 @@ type RegistrySnapshot struct {
 	PlanHits    int64   `json:"plan_hits"`
 	PlanEntries int     `json:"plan_entries"`
 	PlanBuildMs float64 `json:"plan_build_ms"`
+	// Simulated communication totals of every solve and repair
+	// fallback the registry ran: words_moved is the all-rank sum,
+	// words_by_phase splits it by schedule phase (r2, r3, r4-panel,
+	// r4-reduce, r4-seq, trans) — the serving-layer view of what the
+	// configured wire format costs.
+	WordsMoved   int64            `json:"words_moved"`
+	WordsByPhase map[string]int64 `json:"words_by_phase,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
@@ -467,6 +474,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 			PlanHits:        st.PlanHits,
 			PlanEntries:     st.PlanEntries,
 			PlanBuildMs:     float64(st.PlanBuildNanos) / 1e6,
+			WordsMoved:      st.WordsMoved,
+			WordsByPhase:    st.WordsByPhase,
 		},
 		Endpoints: make(map[string]EndpointSnapshot, len(s.endpoints)),
 	}
