@@ -182,6 +182,15 @@ type PlanCache = apsp.PlanCache
 // NewPlanCache returns an empty plan cache to share across solves.
 func NewPlanCache() *PlanCache { return apsp.NewPlanCache() }
 
+// NewPlanCacheAt returns a plan cache backed by a persistent on-disk
+// store in dir (created if missing): every newly built plan is written
+// as a hash-verified binary file keyed by structure fingerprint, and a
+// cache miss falls through to disk before rebuilding — so a process
+// restarted over the same directory serves warm solves with zero
+// symbolic work (Stats().DiskHits counts them; Builds stays 0).
+// Corrupted or truncated files degrade to a rebuild, never an error.
+func NewPlanCacheAt(dir string) (*PlanCache, error) { return apsp.NewPlanCacheAt(dir) }
+
 // PlanCacheStats is a snapshot of a plan cache's counters.
 type PlanCacheStats = apsp.PlanCacheStats
 
@@ -487,14 +496,26 @@ func NewOracle(g *Graph, opts Options) (*Oracle, error) {
 // sparse solve it runs reuses symbolic plans across graphs with the
 // same structure; the cache's counters surface through Registry.Stats.
 func NewOracleRegistry(opts Options, budgetBytes int64) *OracleRegistry {
+	return NewTieredOracleRegistry(opts, budgetBytes, 0)
+}
+
+// NewTieredOracleRegistry is NewOracleRegistry with a compressed second
+// tier: when the hot tier overflows hotBytes, least-recently-used
+// oracles are demoted into losslessly quantized distance blobs (2
+// bytes/pair for integer-weight graphs instead of the hot tier's 12)
+// bounded by compressedBytes, and promoted back bit-identically on
+// access instead of being re-solved. compressedBytes <= 0 disables the
+// tier, restoring plain drop-on-eviction.
+func NewTieredOracleRegistry(opts Options, hotBytes, compressedBytes int64) *OracleRegistry {
 	if opts.Plans == nil {
 		opts.Plans = NewPlanCache()
 	}
 	return oracle.NewRegistry(oracle.Config{
-		Solve:        oracleSolver(opts),
-		Repair:       oracleRepairer(opts),
-		MemoryBudget: budgetBytes,
-		Plans:        opts.Plans,
+		Solve:            oracleSolver(opts),
+		Repair:           oracleRepairer(opts),
+		MemoryBudget:     hotBytes,
+		CompressedBudget: compressedBytes,
+		Plans:            opts.Plans,
 	})
 }
 

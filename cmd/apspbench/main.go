@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, comm, plan, exec, reweight, opcount, perlevel, balance, weak, strong, serve, fig1")
+		exp          = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, comm, plan, exec, reweight, opcount, perlevel, balance, weak, strong, serve, store, fig1")
 		sides        = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
 		ps           = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
 		seed         = flag.Int64("seed", 42, "nested-dissection seed")
@@ -46,6 +46,7 @@ func main() {
 		serveClients = flag.Int("serve-clients", 16, "serve experiment: concurrent load-generator clients")
 		serveBatches = flag.Int("serve-batches", 150, "serve experiment: query batches per client")
 		serveFleet   = flag.String("serve-fleet", "1,2,4", "serve experiment: comma-separated backend counts to sweep")
+		order        = flag.String("order", "nd", "store experiment: vertex labeling fed to the solver — nd (natural input order) or rcm (Reverse Cuthill–McKee relabeling first)")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -200,6 +201,9 @@ func main() {
 			scfg.Seed = *seed
 			t, err := harness.ServeBench(scfg)
 			show(name, t, err)
+		case "store":
+			t, err := harness.StoreBench(cfg, *xn, *xp, *order)
+			show(name, t, err)
 		case "fig1":
 			t, err := harness.Figure1(*seed)
 			show(name, t, err)
@@ -212,7 +216,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table2-memory", "table2-bandwidth", "table2-latency",
-			"factors", "lower", "sepcost", "crossover", "wire", "comm", "plan", "exec", "reweight", "opcount", "perlevel", "balance", "weak", "strong", "serve", "fig1"} {
+			"factors", "lower", "sepcost", "crossover", "wire", "comm", "plan", "exec", "reweight", "opcount", "perlevel", "balance", "weak", "strong", "serve", "store", "fig1"} {
 			run(name)
 		}
 	} else {

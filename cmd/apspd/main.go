@@ -72,6 +72,8 @@ func main() {
 		kernel   = flag.String("kernel", "serial", "min-plus kernel: serial, tiled, pooled")
 		seed     = flag.Int64("seed", 42, "nested-dissection seed")
 		budgetMB = flag.Int64("budget-mb", 0, "oracle cache memory budget in MiB (0 = unlimited)")
+		compMB   = flag.Int64("compressed-budget-mb", 0, "compressed-tier budget in MiB: LRU-evicted oracles demote to losslessly quantized distance blobs and promote back on access (0 = tier disabled, evictions drop)")
+		planDir  = flag.String("plan-dir", "", "persist symbolic plans to this directory: a restarted process reloads them and serves warm solves with zero symbolic rebuilds (empty = memory-only cache)")
 		exec     = flag.String("executor", "dataflow", "plan executor for sparse solves: dataflow (worker pool) or machine (goroutine per rank)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables profiling")
 
@@ -107,7 +109,14 @@ func main() {
 			Kernel:    kern,
 			Executor:  ex,
 		}
-		reg := sparseapsp.NewOracleRegistry(opts, *budgetMB<<20)
+		if *planDir != "" {
+			plans, err := sparseapsp.NewPlanCacheAt(*planDir)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Plans = plans
+		}
+		reg := sparseapsp.NewTieredOracleRegistry(opts, *budgetMB<<20, *compMB<<20)
 		srv := server.New(reg)
 		handler = srv
 		onSignal = srv.BeginDrain
@@ -122,8 +131,8 @@ func main() {
 					reg.ActiveSolves(), err)
 			}
 		}
-		banner = fmt.Sprintf("serving on %s (algorithm=%s kernel=%s budget=%d MiB)",
-			*addr, *alg, *kernel, *budgetMB)
+		banner = fmt.Sprintf("serving on %s (algorithm=%s kernel=%s budget=%d MiB compressed=%d MiB plan-dir=%q)",
+			*addr, *alg, *kernel, *budgetMB, *compMB, *planDir)
 
 	case "router":
 		urls := splitBackends(*backends)

@@ -729,11 +729,21 @@ func StructureFingerprintOf(g *graph.Graph, p int, seed int64, wire WireFormat, 
 // Plan with zero symbolic work. There is no eviction: a Plan is a few
 // schedule tables, orders of magnitude smaller than the n² distance
 // matrices the oracle registry already budgets.
+//
+// A cache created with NewPlanCacheAt additionally fronts a disk
+// PlanStore: memory misses fall through to disk (DiskHits — still zero
+// symbolic work), and fresh builds are persisted (DiskWrites), so the
+// symbolic cost of a structure is paid once per fleet lifetime, not
+// once per process.
 type PlanCache struct {
 	mu         sync.Mutex
 	plans      map[StructureFingerprint]*Plan
+	store      *PlanStore // nil for a memory-only cache
 	builds     int64
 	hits       int64
+	diskHits   int64
+	diskWrites int64
+	diskErrors int64
 	buildNanos int64
 }
 
@@ -748,8 +758,26 @@ func (c *PlanCache) lookup(fp StructureFingerprint) (*Plan, bool) {
 	pl, ok := c.plans[fp]
 	if ok {
 		c.hits++
+		return pl, true
 	}
-	return pl, ok
+	if c.store == nil {
+		return nil, false
+	}
+	// Disk fallthrough, performed under the lock: it is the cold path
+	// (at most once per structure per process), and holding the lock
+	// keeps racing lookups from decoding the same file twice. A load
+	// failure of any kind degrades to a miss — the caller rebuilds.
+	pl, ok, err := c.store.Load(fp)
+	if err != nil {
+		c.diskErrors++
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	c.plans[fp] = pl
+	c.diskHits++
+	return pl, true
 }
 
 // Peek returns the cached plan for fp without counting a hit —
@@ -765,20 +793,35 @@ func (c *PlanCache) Peek(fp StructureFingerprint) (*Plan, bool) {
 // phase took). Two racing builders of the same structure both count as
 // builds; the last stored plan wins, which is harmless because builds
 // are deterministic.
-func (c *PlanCache) store(fp StructureFingerprint, pl *Plan, nanos int64) {
+func (c *PlanCache) put(fp StructureFingerprint, pl *Plan, nanos int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.plans[fp] = pl
 	c.builds++
 	c.buildNanos += nanos
+	if c.store != nil {
+		if err := c.store.Save(fp, pl); err != nil {
+			c.diskErrors++
+		} else {
+			c.diskWrites++
+		}
+	}
 }
 
 // PlanCacheStats is a snapshot of a cache's counters. Hits counts
 // solves that skipped the symbolic phase entirely; BuildNanos is the
-// total wall-clock the symbolic phase has cost so far.
+// total wall-clock the symbolic phase has cost so far. The Disk
+// counters stay zero for a memory-only cache: DiskHits are memory
+// misses satisfied by decoding a persisted plan (also zero symbolic
+// work — a disk hit is NOT a build), DiskWrites are fresh builds
+// persisted, DiskErrors are load/save failures that degraded to
+// memory-only behavior.
 type PlanCacheStats struct {
 	Builds     int64
 	Hits       int64
+	DiskHits   int64
+	DiskWrites int64
+	DiskErrors int64
 	Entries    int
 	BuildNanos int64
 }
@@ -787,5 +830,9 @@ type PlanCacheStats struct {
 func (c *PlanCache) Stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return PlanCacheStats{Builds: c.builds, Hits: c.hits, Entries: len(c.plans), BuildNanos: c.buildNanos}
+	return PlanCacheStats{
+		Builds: c.builds, Hits: c.hits,
+		DiskHits: c.diskHits, DiskWrites: c.diskWrites, DiskErrors: c.diskErrors,
+		Entries: len(c.plans), BuildNanos: c.buildNanos,
+	}
 }

@@ -1,0 +1,52 @@
+package apsp
+
+import (
+	"testing"
+
+	"sparseapsp/internal/graph"
+)
+
+// FuzzDecodePlanMalformed mutates valid plan encodings (and arbitrary
+// junk) and requires the decoder to return an error or a hash-verified
+// plan — never panic. Note the policy difference from the semiring pack
+// codec's FuzzUnpackMalformed, which accepts decode-or-PANIC: wire
+// payloads never leave the process, but plan bytes cross restarts and
+// disks, so the decoder must fail closed. There is deliberately no
+// recover() here — any panic fails the fuzz.
+func FuzzDecodePlanMalformed(f *testing.F) {
+	seedPlan := func(g *graph.Graph, p int, wire WireFormat, r4 R4Strategy) {
+		h, err := HeightForP(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		ly, err := NewLayout(g, h, 42)
+		if err != nil {
+			f.Fatal(err)
+		}
+		pl, err := BuildPlan(ly, p, wire, r4)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(pl.Encode())
+	}
+	seedPlan(graph.Grid2D(6, 6, graph.UnitWeights), 9, WirePacked, R4Mapped)
+	seedPlan(graph.Grid2D(8, 8, graph.UnitWeights), 9, WirePruned, R4Mapped)
+	seedPlan(graph.Star(40, graph.UnitWeights), 9, WirePruned, R4Sequential)
+	f.Add([]byte{})
+	f.Add([]byte(planMagic))
+	f.Add([]byte("not a plan at all, definitely longer than the envelope minimum"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := DecodePlan(data)
+		if err == nil && pl == nil {
+			t.Fatal("DecodePlan returned nil plan with nil error")
+		}
+		if err == nil {
+			// Whatever decoded must round-trip to the same bytes: the
+			// decoder may only accept canonical encodings.
+			if string(pl.Encode()) != string(data) {
+				t.Fatal("accepted input is not the canonical encoding of the decoded plan")
+			}
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package apsp
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sparseapsp/internal/graph"
+	"sparseapsp/internal/semiring"
+)
+
+// planioWorkloads builds the standard graph families used across the
+// codec tests, with integer weights so distances are FP-exact.
+func planioWorkloads(n int) map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(7))
+	w := func(u, v int) float64 { return float64(rng.Intn(9) + 1) }
+	side := 1
+	for (side+1)*(side+1) <= n {
+		side++
+	}
+	return map[string]*graph.Graph{
+		"star": graph.Star(n, w),
+		"tree": graph.RandomTree(n, w, rng),
+		"grid": graph.Grid2D(side, side, w),
+		"path": graph.Path(n, w),
+		"gnp":  graph.RandomGNP(n, 4.0/float64(n), w, rng),
+	}
+}
+
+func buildTestPlan(t *testing.T, g *graph.Graph, p int, wire WireFormat, r4 R4Strategy) *Plan {
+	t.Helper()
+	h, err := HeightForP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ly, err := NewLayout(g, h, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := BuildPlan(ly, p, wire, r4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestPlanEncodeDecodeRoundTrip proves the codec is faithful across
+// graph families × wire formats × R4 strategies: the decoded plan has
+// the same content hash, re-encodes to identical bytes, and executes
+// to bit-identical distances and cost reports.
+func TestPlanEncodeDecodeRoundTrip(t *testing.T) {
+	const p = 49
+	for name, g := range planioWorkloads(120) {
+		for _, wire := range []WireFormat{WirePacked, WireDense, WirePruned} {
+			for _, r4 := range []R4Strategy{R4Mapped, R4Sequential} {
+				pl := buildTestPlan(t, g, p, wire, r4)
+				enc := pl.Encode()
+				dec, err := DecodePlan(enc)
+				if err != nil {
+					t.Fatalf("%s/%s/r4=%v: decode: %v", name, wire, r4, err)
+				}
+				if dec.Hash() != pl.Hash() {
+					t.Fatalf("%s/%s/r4=%v: hash changed across round trip", name, wire, r4)
+				}
+				if !bytes.Equal(dec.Encode(), enc) {
+					t.Fatalf("%s/%s/r4=%v: re-encoding a decoded plan changed the bytes", name, wire, r4)
+				}
+				want, err := pl.Execute(pl.LayoutFor(g), semiring.KernelSerial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := dec.Execute(dec.LayoutFor(g), semiring.KernelSerial)
+				if err != nil {
+					t.Fatalf("%s/%s/r4=%v: decoded plan failed to execute: %v", name, wire, r4, err)
+				}
+				if !want.Dist.Equal(got.Dist) {
+					t.Fatalf("%s/%s/r4=%v: decoded plan computed different distances", name, wire, r4)
+				}
+				if !reflect.DeepEqual(want.Report, got.Report) {
+					t.Fatalf("%s/%s/r4=%v: decoded plan charged different costs:\n  want %+v\n  got  %+v",
+						name, wire, r4, want.Report, got.Report)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodePlanMalformed drives the decoder over truncations and
+// deterministic byte corruptions of a valid encoding: every outcome
+// must be an error or a plan with the original hash — never a panic,
+// never a silently different schedule.
+func TestDecodePlanMalformed(t *testing.T) {
+	g := graph.Grid2D(8, 8, graph.UnitWeights)
+	pl := buildTestPlan(t, g, 9, WirePruned, R4Mapped)
+	enc := pl.Encode()
+
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := DecodePlan(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), enc...)
+		for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		dec, err := DecodePlan(mut)
+		if err == nil && dec.Hash() != pl.Hash() {
+			t.Fatalf("trial %d: corrupted plan decoded to a different schedule", trial)
+		}
+	}
+	if _, err := DecodePlan(nil); err == nil {
+		t.Fatal("nil input decoded without error")
+	}
+	if _, err := DecodePlan([]byte("XXPLAN99" + string(make([]byte, 64)))); err == nil {
+		t.Fatal("foreign magic decoded without error")
+	}
+	// Trailing junk between the schedule and the hash must be rejected.
+	padded := append(append([]byte(nil), enc[:len(enc)-planHashLen]...), 0xFF)
+	padded = append(padded, enc[len(enc)-planHashLen:]...)
+	if _, err := DecodePlan(padded); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+}
+
+// TestPlanStoreWarmRestart is the restart contract: a second cache on
+// the same directory (a new process, as far as the cache can tell)
+// serves the plan from disk with zero symbolic builds, and the plan it
+// serves solves bit-identically.
+func TestPlanStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Grid2D(12, 12, graph.UnitWeights)
+	const p = 49
+
+	cold, err := NewPlanCacheAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SparseOptions{Seed: 42, Plans: cold}
+	want, err := SparseAPSPWith(g, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Builds != 1 || st.DiskWrites != 1 || st.DiskHits != 0 {
+		t.Fatalf("cold cache stats = %+v, want 1 build / 1 disk write", st)
+	}
+
+	warm, err := NewPlanCacheAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Plans = warm
+	got, err := SparseAPSPWith(g, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Builds != 0 {
+		t.Fatalf("warm restart ran %d symbolic builds, want 0 (stats %+v)", st.Builds, st)
+	}
+	if st.DiskHits != 1 || st.DiskErrors != 0 {
+		t.Fatalf("warm cache stats = %+v, want exactly 1 disk hit", st)
+	}
+	if !want.Dist.Equal(got.Dist) {
+		t.Fatal("persisted plan solved to different distances")
+	}
+	if !reflect.DeepEqual(want.Report, got.Report) {
+		t.Fatal("persisted plan charged different costs")
+	}
+
+	// Third solve on the warm cache: a pure memory hit, no disk I/O.
+	if _, err := SparseAPSPWith(g, p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Hits != 1 || st.DiskHits != 1 {
+		t.Fatalf("second warm solve stats = %+v, want 1 memory hit on top of the disk hit", st)
+	}
+}
+
+// TestPlanStoreCorruptFileDegrades: a corrupted plan file must behave
+// like a miss (rebuild + DiskErrors count), not fail the solve.
+func TestPlanStoreCorruptFileDegrades(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Grid2D(10, 10, graph.UnitWeights)
+	const p = 9
+
+	c1, err := NewPlanCacheAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SparseAPSPWith(g, p, SparseOptions{Seed: 42, Plans: c1}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.plan"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one plan file, got %v (%v)", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewPlanCacheAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SparseAPSPWith(g, p, SparseOptions{Seed: 42, Plans: c2}); err != nil {
+		t.Fatalf("solve with corrupted plan file failed: %v", err)
+	}
+	if st := c2.Stats(); st.Builds != 1 || st.DiskErrors != 1 {
+		t.Fatalf("stats after corrupted load = %+v, want 1 build and 1 disk error", st)
+	}
+}

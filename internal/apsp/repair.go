@@ -605,7 +605,7 @@ func RepairWithOptions(g *graph.Graph, prev *PathResult, edits []EdgeEdit, p int
 			if err != nil {
 				return nil, nil, RepairStats{}, err
 			}
-			sopts.Plans.store(fp, built, time.Since(start).Nanoseconds())
+			sopts.Plans.put(fp, built, time.Since(start).Nanoseconds())
 			pl = built
 		}
 	} else {

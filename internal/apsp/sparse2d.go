@@ -213,7 +213,7 @@ func SparseAPSPWith(g *graph.Graph, p int, opts SparseOptions) (*DistResult, err
 		if err != nil {
 			return nil, err
 		}
-		opts.Plans.store(fp, pl, time.Since(start).Nanoseconds())
+		opts.Plans.put(fp, pl, time.Since(start).Nanoseconds())
 		return pl.ExecuteWith(ly, opts.Kernel, opts.Executor)
 	}
 	ly, pl, err := buildSymbolic(g, p, h, opts)

@@ -606,9 +606,14 @@ func addRegistry(a *server.RegistrySnapshot, b server.RegistrySnapshot) {
 	a.Hits += b.Hits
 	a.Misses += b.Misses
 	a.Evictions += b.Evictions
+	a.Demotions += b.Demotions
+	a.Promotions += b.Promotions
 	a.Entries += b.Entries
 	a.Bytes += b.Bytes
 	a.BudgetBytes += b.BudgetBytes
+	a.CompressedEntries += b.CompressedEntries
+	a.CompressedBytes += b.CompressedBytes
+	a.CompressedBudgetBytes += b.CompressedBudgetBytes
 	a.SolveMs += b.SolveMs
 	a.QueriesServed += b.QueriesServed
 	a.QueriesInFlight += b.QueriesInFlight
@@ -620,6 +625,9 @@ func addRegistry(a *server.RegistrySnapshot, b server.RegistrySnapshot) {
 	a.PlanHits += b.PlanHits
 	a.PlanEntries += b.PlanEntries
 	a.PlanBuildMs += b.PlanBuildMs
+	a.PlanDiskHits += b.PlanDiskHits
+	a.PlanDiskWrites += b.PlanDiskWrites
+	a.PlanDiskErrors += b.PlanDiskErrors
 	a.WordsMoved += b.WordsMoved
 	for phase, w := range b.WordsByPhase {
 		if a.WordsByPhase == nil {

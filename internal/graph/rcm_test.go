@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bandwidth returns max |perm-index distance| over edges of g after
+// applying perm (identity when perm is nil).
+func bandwidth(g *Graph, perm []int) int {
+	id := func(v int) int {
+		if perm == nil {
+			return v
+		}
+		return perm[v]
+	}
+	max := 0
+	for _, e := range g.Edges() {
+		d := id(e.U) - id(e.V)
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TestRCMPermutationRoundTrip is the property test: RCM must return a
+// valid permutation, be deterministic, and permuting by it then by its
+// inverse must reproduce the original graph exactly — edges, weights,
+// adjacency order and all.
+func TestRCMPermutationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := func(u, v int) float64 { return float64(rng.Intn(9) + 1) }
+	disconnected := New(9)
+	disconnected.AddEdge(0, 1, 2)
+	disconnected.AddEdge(1, 2, 3)
+	disconnected.AddEdge(4, 5, 1)
+	disconnected.AddEdge(6, 7, 4)
+	cases := map[string]*Graph{
+		"star":         Star(40, w),
+		"tree":         RandomTree(40, w, rng),
+		"grid":         Grid2D(8, 8, w),
+		"path":         Path(40, w),
+		"gnp":          RandomGNP(40, 0.1, w, rng),
+		"disconnected": disconnected,
+		"empty":        New(0),
+		"singleton":    New(1),
+	}
+	for name, g := range cases {
+		perm := g.RCM()
+		if len(perm) != g.N() {
+			t.Fatalf("%s: perm has length %d for %d vertices", name, len(perm), g.N())
+		}
+		seen := make([]bool, g.N())
+		for _, p := range perm {
+			if p < 0 || p >= g.N() || seen[p] {
+				t.Fatalf("%s: RCM is not a permutation: %v", name, perm)
+			}
+			seen[p] = true
+		}
+		if again := g.RCM(); !reflect.DeepEqual(perm, again) {
+			t.Fatalf("%s: RCM is not deterministic: %v vs %v", name, perm, again)
+		}
+		if g.N() == 0 {
+			continue
+		}
+		inv := make([]int, g.N())
+		for v, p := range perm {
+			inv[p] = v
+		}
+		// Compare via Edges(): Permute materializes empty adjacency
+		// slices where New leaves nil, so struct equality is too strict.
+		back := g.Permute(perm).Permute(inv)
+		if back.N() != g.N() || back.M() != g.M() || !reflect.DeepEqual(back.Edges(), g.Edges()) {
+			t.Fatalf("%s: permute(RCM) then permute(inverse) did not round-trip", name)
+		}
+		// Every original edge must exist under the relabeling, same weight.
+		pg := g.Permute(perm)
+		for _, e := range g.Edges() {
+			if w2, ok := pg.HasEdge(perm[e.U], perm[e.V]); !ok || w2 != e.W {
+				t.Fatalf("%s: edge {%d,%d} w=%v lost under RCM relabeling", name, e.U, e.V, e.W)
+			}
+		}
+	}
+}
+
+// TestRCMReducesGridBandwidth pins the classic property that motivates
+// the ordering: on a 2D grid labeled row-major-with-shuffle, RCM must
+// bring the adjacency bandwidth well below the shuffled labeling's.
+func TestRCMReducesGridBandwidth(t *testing.T) {
+	g := Grid2D(12, 12, UnitWeights)
+	rng := rand.New(rand.NewSource(5))
+	shuffle := rng.Perm(g.N())
+	shuffled := g.Permute(shuffle)
+	before := bandwidth(shuffled, nil)
+	after := bandwidth(shuffled, shuffled.RCM())
+	if after*2 > before {
+		t.Fatalf("RCM bandwidth %d is not well below shuffled bandwidth %d", after, before)
+	}
+}

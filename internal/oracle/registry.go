@@ -3,6 +3,7 @@ package oracle
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -31,11 +32,18 @@ type Config struct {
 	// Repair, when non-nil, enables Registry.Reweight: small weight
 	// edits are repaired from the cached result instead of re-solved.
 	Repair RepairFunc
-	// MemoryBudget bounds the total MemoryBytes of retained oracles;
-	// <= 0 means unlimited. The most recently used oracle is never
-	// evicted, so one oracle larger than the budget is still served
-	// (and displaced as soon as another graph is solved).
+	// MemoryBudget bounds the total MemoryBytes of hot-tier oracles;
+	// <= 0 means unlimited. Exceeding it demotes least-recently-used
+	// oracles into the compressed tier (or drops them when that tier is
+	// disabled). An oracle larger than the whole budget is demoted
+	// immediately rather than pinned — it is still served, promoted on
+	// demand, and re-demoted afterward.
 	MemoryBudget int64
+	// CompressedBudget bounds the bytes of the compressed (demoted)
+	// tier: quantized distance blobs that promote back to full oracles
+	// on access, bit-identically (see tier.go). <= 0 disables the tier,
+	// restoring plain drop-on-eviction.
+	CompressedBudget int64
 	// Pool is the worker pool batch queries fan out over; nil means
 	// semiring.DefaultPool.
 	Pool *semiring.Pool
@@ -57,13 +65,17 @@ type Registry struct {
 
 	mu      sync.Mutex
 	entries map[Fingerprint]*entry
-	lru     *list.List // front = most recently used; solved entries only
-	bytes   int64      // sum of MemoryBytes over solved entries
+	lru     *list.List // front = most recently used; hot entries only
+	bytes   int64      // sum of MemoryBytes over hot entries
+	clru    *list.List // compressed tier, front = most recently demoted/used
+	cbytes  int64      // sum of blob bytes over compressed entries
 
 	solves          int64
 	hits            int64
 	misses          int64
 	evictions       int64
+	demotions       int64
+	promotions      int64
 	solveNanos      int64
 	reweights       int64
 	repairNanos     int64
@@ -90,10 +102,32 @@ type Registry struct {
 type entry struct {
 	fp     Fingerprint
 	ready  chan struct{} // closed when the solve finishes
-	oracle *Oracle       // set iff err == nil after ready
+	oracle *Oracle       // hot tier; nil while solving, demoted, or failed
 	err    error
-	elem   *list.Element // nil while solving or after eviction
+	elem   *list.Element // hot LRU element; nil unless oracle != nil
+
+	// Compressed-tier state. A demoted entry keeps only the quantized
+	// distance blob and the graph (to rebuild successors on promotion);
+	// promoting is non-nil while one goroutine decodes the blob off the
+	// lock, and is closed when the hot oracle is installed (or the
+	// promotion fails) so coalesced waiters can re-check.
+	comp      *compEntry
+	celem     *list.Element
+	promoting chan struct{}
 }
+
+// compEntry is the demoted form of a solved oracle: the lossless
+// compressed distance blob plus the graph the successor structure is
+// deterministically rebuilt from at promotion time.
+type compEntry struct {
+	blob  []byte
+	graph *graph.Graph
+}
+
+// errEntryDropped reports that an entry vanished from both tiers
+// between a map lookup and the tier access — the caller treats it as a
+// cache miss.
+var errEntryDropped = fmt.Errorf("oracle: cached entry was evicted")
 
 // NewRegistry returns an empty registry.
 func NewRegistry(cfg Config) *Registry {
@@ -101,6 +135,7 @@ func NewRegistry(cfg Config) *Registry {
 		cfg:     cfg,
 		entries: make(map[Fingerprint]*entry),
 		lru:     list.New(),
+		clru:    list.New(),
 	}
 }
 
@@ -118,10 +153,24 @@ func (r *Registry) Get(g *graph.Graph) (*Oracle, error) {
 	fp := FingerprintOf(g)
 
 	r.mu.Lock()
-	if e, ok := r.entries[fp]; ok {
+	for {
+		e, ok := r.entries[fp]
+		if !ok {
+			break
+		}
 		r.mu.Unlock()
 		r.recordWait(e)
-		return e.oracle, e.err
+		if e.err != nil {
+			return nil, e.err
+		}
+		o, err := r.ensureHot(e)
+		if !errors.Is(err, errEntryDropped) {
+			return o, err
+		}
+		// The entry was dropped from both tiers between the map lookup
+		// and the tier access; treat it as a miss and retry — either a
+		// new entry appeared or this Get owns the re-solve.
+		r.mu.Lock()
 	}
 	r.misses++
 	e := &entry{fp: fp, ready: make(chan struct{})}
@@ -169,7 +218,16 @@ func (r *Registry) Lookup(fp Fingerprint) (o *Oracle, ok bool, err error) {
 	}
 	r.mu.Unlock()
 	r.recordWait(e)
-	return e.oracle, true, e.err
+	if e.err != nil {
+		return nil, true, e.err
+	}
+	o, err = r.ensureHot(e)
+	if errors.Is(err, errEntryDropped) {
+		// Dropped while we waited: indistinguishable from an eviction
+		// that happened before the Lookup.
+		return nil, false, nil
+	}
+	return o, true, err
 }
 
 // recordWait waits out an entry's solve and then records the outcome:
@@ -219,7 +277,15 @@ func (r *Registry) Reweight(fp Fingerprint, edits []apsp.EdgeEdit) (Fingerprint,
 	if e.err != nil {
 		return fp, nil, zero, e.err
 	}
-	old := e.oracle
+	// A demoted entry must be promoted first: the repair needs the full
+	// solved result, and the swap below must invalidate both tiers.
+	old, err := r.ensureHot(e)
+	if errors.Is(err, errEntryDropped) {
+		return fp, nil, zero, fmt.Errorf("%w: %s", ErrUnknownGraph, fp)
+	}
+	if err != nil {
+		return fp, nil, zero, err
+	}
 	g := old.Graph()
 	if g == nil {
 		return fp, nil, zero, fmt.Errorf("oracle: cached oracle for %s retains no graph", fp)
@@ -244,7 +310,14 @@ func (r *Registry) Reweight(fp Fingerprint, edits []apsp.EdgeEdit) (Fingerprint,
 		r.removeLocked(e)
 		r.mu.Unlock()
 		r.recordWait(e2)
-		return newFp, e2.oracle, zero, e2.err
+		if e2.err != nil {
+			return newFp, nil, zero, e2.err
+		}
+		o2, err := r.ensureHot(e2)
+		if errors.Is(err, errEntryDropped) {
+			return newFp, nil, zero, fmt.Errorf("%w: %s", ErrUnknownGraph, newFp)
+		}
+		return newFp, o2, zero, err
 	}
 	e2 := &entry{fp: newFp, ready: make(chan struct{})}
 	r.entries[newFp] = e2
@@ -343,9 +416,10 @@ func (r *Registry) Has(fp Fingerprint) bool {
 	return ok
 }
 
-// removeLocked drops a solved entry from the map and LRU without
-// touching the eviction counter (Reweight's swap is not an eviction).
-// Safe to call on an entry that was already evicted or replaced.
+// removeLocked drops a solved entry from the map and from BOTH tiers
+// without touching the eviction counter (Reweight's swap is not an
+// eviction). Safe to call on an entry that was already evicted or
+// replaced.
 func (r *Registry) removeLocked(e *entry) {
 	if cur, ok := r.entries[e.fp]; ok && cur == e {
 		delete(r.entries, e.fp)
@@ -354,6 +428,12 @@ func (r *Registry) removeLocked(e *entry) {
 		r.lru.Remove(e.elem)
 		e.elem = nil
 		r.bytes -= e.oracle.MemoryBytes()
+	}
+	if e.celem != nil {
+		r.clru.Remove(e.celem)
+		e.celem = nil
+		r.cbytes -= int64(len(e.comp.blob))
+		e.comp = nil
 	}
 }
 
@@ -365,22 +445,168 @@ func (r *Registry) touchLocked(e *entry) {
 	}
 }
 
-// evictLocked drops least-recently-used solved oracles until the
-// retained bytes fit the budget. The front entry (the one just solved
-// or touched) is always kept so Get never evicts its own result.
+// evictLocked demotes least-recently-used hot oracles until the hot
+// bytes fit the budget. The front entry (the one just solved or
+// touched) is kept while anything older can make room — but if the
+// front entry ALONE exceeds the whole budget it is demoted too, fixing
+// the oversized-entry pin: before the tiered rewrite such an oracle sat
+// at the LRU front forever (the Len() > 1 guard protected it and
+// nothing could ever push it out), permanently blowing the budget. Now
+// it lives in the compressed tier (or is dropped with an Evictions
+// count when that tier is off) and is promoted per access.
 func (r *Registry) evictLocked() {
 	if r.cfg.MemoryBudget <= 0 {
 		return
 	}
 	for r.bytes > r.cfg.MemoryBudget && r.lru.Len() > 1 {
-		back := r.lru.Back()
-		e := back.Value.(*entry)
-		r.lru.Remove(back)
-		e.elem = nil
-		delete(r.entries, e.fp)
-		r.bytes -= e.oracle.MemoryBytes()
+		r.demoteLocked(r.lru.Back().Value.(*entry))
+	}
+	if r.bytes > r.cfg.MemoryBudget && r.lru.Len() == 1 {
+		// Only the front entry is left, so r.bytes is its size alone:
+		// it is larger than the entire budget.
+		r.demoteLocked(r.lru.Front().Value.(*entry))
+	}
+}
+
+// demoteLocked moves a hot entry to the compressed tier: the distance
+// matrix is re-encoded losslessly (tier.go) and the successor structure
+// is discarded — promotion rebuilds it bit-identically from the graph.
+// With the compressed tier disabled (or for an oracle that retains no
+// graph, which a registry never produces) the entry is dropped instead,
+// counted as an eviction.
+func (r *Registry) demoteLocked(e *entry) {
+	o := e.oracle
+	r.lru.Remove(e.elem)
+	e.elem = nil
+	e.oracle = nil
+	r.bytes -= o.MemoryBytes()
+	g := o.Graph()
+	if r.cfg.CompressedBudget <= 0 || g == nil {
+		if cur, ok := r.entries[e.fp]; ok && cur == e {
+			delete(r.entries, e.fp)
+		}
+		r.evictions++
+		return
+	}
+	blob := CompressDist(o.res.Dist)
+	e.comp = &compEntry{blob: blob, graph: g}
+	e.celem = r.clru.PushFront(e)
+	r.cbytes += int64(len(blob))
+	r.demotions++
+	r.evictCompressedLocked()
+}
+
+// evictCompressedLocked drops least-recently-used compressed blobs
+// until the tier fits its budget. Entries mid-promotion are skipped —
+// their blob is being decoded off the lock and the promotion will move
+// them out of this tier itself.
+func (r *Registry) evictCompressedLocked() {
+	for r.cbytes > r.cfg.CompressedBudget {
+		el := r.clru.Back()
+		for el != nil && el.Value.(*entry).promoting != nil {
+			el = el.Prev()
+		}
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		r.clru.Remove(el)
+		e.celem = nil
+		r.cbytes -= int64(len(e.comp.blob))
+		e.comp = nil
+		if cur, ok := r.entries[e.fp]; ok && cur == e {
+			delete(r.entries, e.fp)
+		}
 		r.evictions++
 	}
+}
+
+// ensureHot returns a hot oracle for a successfully solved entry,
+// promoting it from the compressed tier when it was demoted. Callers
+// must have waited out e.ready and checked e.err first. Concurrent
+// promotions of the same entry coalesce: one goroutine decodes the blob
+// and rebuilds successors off the lock, the rest wait on e.promoting
+// and re-check. Returns errEntryDropped when the entry no longer exists
+// in either tier.
+func (r *Registry) ensureHot(e *entry) (*Oracle, error) {
+	for {
+		r.mu.Lock()
+		if e.oracle != nil {
+			o := e.oracle
+			r.touchLocked(e)
+			r.mu.Unlock()
+			return o, nil
+		}
+		if ch := e.promoting; ch != nil {
+			r.mu.Unlock()
+			<-ch
+			continue
+		}
+		if e.comp == nil {
+			r.mu.Unlock()
+			return nil, errEntryDropped
+		}
+		ch := make(chan struct{})
+		e.promoting = ch
+		comp := e.comp
+		r.mu.Unlock()
+
+		o, err := promote(comp, r.cfg.Pool)
+
+		r.mu.Lock()
+		e.promoting = nil
+		if err != nil {
+			// The in-memory blob failed to decode — fail closed: drop
+			// the entry so the next Get re-solves from scratch.
+			r.removeLocked(e)
+			r.evictions++
+			r.mu.Unlock()
+			close(ch)
+			return nil, err
+		}
+		o.shared = &r.queries
+		r.promotions++
+		if cur, ok := r.entries[e.fp]; !ok || cur != e {
+			// The entry was swapped out (Reweight) while we promoted:
+			// serve the result but do not re-install it in any tier.
+			r.mu.Unlock()
+			close(ch)
+			return o, nil
+		}
+		if e.celem != nil {
+			r.clru.Remove(e.celem)
+			e.celem = nil
+			r.cbytes -= int64(len(e.comp.blob))
+		}
+		e.comp = nil
+		e.oracle = o
+		e.elem = r.lru.PushFront(e)
+		r.bytes += o.MemoryBytes()
+		r.evictLocked()
+		r.mu.Unlock()
+		close(ch)
+		return o, nil
+	}
+}
+
+// promote rebuilds a hot oracle from a compressed-tier entry: decode
+// the quantized distances (bit-identical by the codec's losslessness
+// guarantee) and rebuild the successor structure deterministically from
+// the retained graph — the same apsp.SuccessorsFromDist the production
+// solve path runs, so the promoted oracle answers every distance AND
+// path query bit-identically to the one that was demoted.
+func promote(c *compEntry, pool *semiring.Pool) (*Oracle, error) {
+	d, err := DecompressDist(c.blob)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: promote: %w", err)
+	}
+	res, err := apsp.SuccessorsFromDist(c.graph, d)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: promote: %w", err)
+	}
+	o := FromResult(res, pool)
+	o.graph = c.graph
+	return o, nil
 }
 
 // Len returns the number of cached (solved or solving) entries.
@@ -414,11 +640,23 @@ type Stats struct {
 	SolvesInFlight int64
 	Hits           int64 // Get/Lookup calls satisfied by an existing entry
 	Misses         int64 // Get calls that triggered a solve + unknown Lookups
-	Evictions      int64 // oracles dropped by the LRU budget
+	Evictions      int64 // oracles dropped entirely (from either tier)
 
-	Entries     int   // cached entries, including in-flight solves
-	Bytes       int64 // retained bytes of solved oracles
-	BudgetBytes int64 // configured budget (0 = unlimited)
+	// Tier-transition counters: a demotion re-encodes a hot oracle into
+	// the compressed tier, a promotion decodes it back on access. Both
+	// are zero when Config.CompressedBudget is off.
+	Demotions  int64
+	Promotions int64
+
+	Entries     int   // cached entries, including in-flight solves and compressed
+	Bytes       int64 // retained bytes of hot-tier oracles
+	BudgetBytes int64 // configured hot budget (0 = unlimited)
+
+	// Compressed-tier occupancy: entries currently demoted, their total
+	// blob bytes, and the configured budget (0 = tier disabled).
+	CompressedEntries     int
+	CompressedBytes       int64
+	CompressedBudgetBytes int64
 
 	SolveNanos      int64 // total wall-clock spent solving
 	QueriesServed   int64 // point-queries answered across all oracles
@@ -441,6 +679,12 @@ type Stats struct {
 	PlanHits       int64
 	PlanEntries    int
 	PlanBuildNanos int64
+	// Plan-store counters (zero without a disk-backed plan cache). A
+	// disk hit is a plan served from the persistent store with zero
+	// symbolic work — the warm-restart path; it is NOT a build.
+	PlanDiskHits   int64
+	PlanDiskWrites int64
+	PlanDiskErrors int64
 
 	// Simulated communication totals over every solve and repair
 	// fallback: WordsMoved is the all-rank words-sent sum, and
@@ -472,10 +716,17 @@ func (r *Registry) Stats() Stats {
 		Hits:        r.hits,
 		Misses:      r.misses,
 		Evictions:   r.evictions,
+		Demotions:   r.demotions,
+		Promotions:  r.promotions,
 		Entries:     len(r.entries),
 		Bytes:       r.bytes,
 		BudgetBytes: r.cfg.MemoryBudget,
-		SolveNanos:  r.solveNanos,
+
+		CompressedEntries:     r.clru.Len(),
+		CompressedBytes:       r.cbytes,
+		CompressedBudgetBytes: r.cfg.CompressedBudget,
+
+		SolveNanos: r.solveNanos,
 
 		Reweights:       r.reweights,
 		RepairFallbacks: r.repairFallbacks,
@@ -500,6 +751,9 @@ func (r *Registry) Stats() Stats {
 		s.PlanHits = ps.Hits
 		s.PlanEntries = ps.Entries
 		s.PlanBuildNanos = ps.BuildNanos
+		s.PlanDiskHits = ps.DiskHits
+		s.PlanDiskWrites = ps.DiskWrites
+		s.PlanDiskErrors = ps.DiskErrors
 	}
 	return s
 }

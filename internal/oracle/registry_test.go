@@ -230,26 +230,84 @@ func TestRegistryLookupUnknown(t *testing.T) {
 }
 
 // TestRegistrySingleOracleOverBudget: one oracle larger than the whole
-// budget is still retained and served (the newest entry is never
-// evicted), then displaced by the next solve.
+// budget used to sit pinned at the LRU front forever (the eviction loop
+// only looked past the front entry), permanently blowing the budget.
+// The fix demotes it: with no compressed tier it is dropped with an
+// Evictions count; the Get that solved it is still served its result.
 func TestRegistrySingleOracleOverBudget(t *testing.T) {
 	var solves atomic.Int64
 	r := NewRegistry(Config{Solve: countingSolver(&solves, 0), MemoryBudget: 1})
-	a, b := testGraph(1, 16), testGraph(2, 16)
-	if _, err := r.Get(a); err != nil {
+	a := testGraph(1, 16)
+	o, err := r.Get(a)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := r.Lookup(FingerprintOf(a)); !ok {
-		t.Fatal("over-budget oracle was evicted immediately")
-	}
-	if _, err := r.Get(b); err != nil {
+	if _, err := o.Dist(0, 1); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, _ := r.Lookup(FingerprintOf(a)); ok {
-		t.Error("old over-budget oracle survived the next solve")
+		t.Error("over-budget oracle stayed pinned in the hot tier")
 	}
-	if st := r.Stats(); st.Evictions != 1 || st.Entries != 1 {
-		t.Errorf("stats = %+v, want 1 eviction and 1 entry", st)
+	st := r.Stats()
+	if st.Evictions != 1 || st.Bytes != 0 {
+		t.Errorf("stats = %+v, want 1 eviction and 0 retained bytes", st)
+	}
+	// The next Get re-solves — nothing was cached.
+	if _, err := r.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := solves.Load(); got != 2 {
+		t.Errorf("solver ran %d times, want 2 (dropped oracle must re-solve)", got)
+	}
+}
+
+// TestRegistryOversizedEntryDemoted is the tiered half of the
+// oversized-pin regression: with a compressed tier configured, the
+// over-budget oracle is demoted rather than dropped, keeps serving
+// bit-identical answers through promotion, and never re-solves.
+func TestRegistryOversizedEntryDemoted(t *testing.T) {
+	var solves atomic.Int64
+	r := NewRegistry(Config{
+		Solve:            countingSolver(&solves, 0),
+		MemoryBudget:     1,
+		CompressedBudget: 64 << 20,
+	})
+	a := testGraph(1, 16)
+	want := apsp.FloydWarshallPaths(a)
+	if _, err := r.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Demotions != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want the oversized oracle demoted, not dropped", st)
+	}
+	if st.CompressedEntries != 1 || st.CompressedBytes == 0 {
+		t.Fatalf("stats = %+v, want 1 compressed entry", st)
+	}
+	// Every access promotes (and, still oversized, re-demotes) — served
+	// bit-identically with zero extra solves.
+	for round := 0; round < 3; round++ {
+		o, ok, err := r.Lookup(FingerprintOf(a))
+		if err != nil || !ok {
+			t.Fatalf("round %d: lookup = (%v, %v)", round, ok, err)
+		}
+		for u := 0; u < a.N(); u++ {
+			for v := 0; v < a.N(); v++ {
+				d, err := o.Dist(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref := want.Dist.At(u, v); d != ref {
+					t.Fatalf("round %d: Dist(%d,%d) = %g, want %g", round, u, v, d, ref)
+				}
+			}
+		}
+	}
+	if got := solves.Load(); got != 1 {
+		t.Errorf("solver ran %d times, want 1 (demoted oracle must promote, not re-solve)", got)
+	}
+	if st := r.Stats(); st.Promotions != 3 || st.Demotions != 4 {
+		t.Errorf("stats = %+v, want 3 promotions and 4 demotions", st)
 	}
 }
 

@@ -1,0 +1,262 @@
+package oracle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sparseapsp/internal/semiring"
+)
+
+// Compressed-tier distance codec.
+//
+// A demoted oracle keeps only its distance matrix, re-encoded into the
+// smallest representation that is provably lossless for the values at
+// hand. The kinds, tried in order at compress time:
+//
+//	u16  quantized: v = k·scale with k ∈ [0, 0xFFFE], Inf → 0xFFFF
+//	u32  quantized: v = k·scale with k ∈ [0, 0xFFFFFFFE], Inf → 0xFFFFFFFF
+//	f32  each value survives a float32 round trip bit-exactly
+//	f64  raw bits — always applicable
+//
+// Quantization is accepted only after verifying, per value, that
+// float64(k)·scale reproduces the original bit pattern exactly, so the
+// tier is ALWAYS bit-lossless: integer-weight graphs (whose distances
+// are small integers) land in u16 at 2 bytes/pair, and anything that
+// cannot be represented exactly falls through to f32 or raw f64. A
+// promoted oracle therefore answers queries bit-identically to the one
+// that was demoted.
+//
+// Like the plan codec (and unlike the semiring pack codec's
+// decode-or-panic), DecompressDist must fail closed on malformed bytes:
+// return an error, never panic — the registry treats a decode failure
+// as a dropped entry and re-solves.
+
+// tierMagic identifies a compressed-tier blob; the trailing digits are
+// the format version.
+const tierMagic = "SAPSPT01"
+
+// tierHeaderLen is magic(8) + kind(1) + reserved(3) + n(4) + scale(8).
+const tierHeaderLen = 24
+
+const (
+	tierU16 = uint8(iota)
+	tierU32
+	tierF32
+	tierF64
+)
+
+const (
+	tierInfU16 = uint16(0xFFFF)
+	tierInfU32 = uint32(0xFFFFFFFF)
+)
+
+// tierKindName maps a kind byte to its display name (for stats and the
+// E23 harness tables).
+func tierKindName(kind uint8) string {
+	switch kind {
+	case tierU16:
+		return "u16"
+	case tierU32:
+		return "u32"
+	case tierF32:
+		return "f32"
+	default:
+		return "f64"
+	}
+}
+
+// quantScale picks the candidate scales for integer quantization: 1
+// first (integer-weight graphs), then the smallest positive finite
+// value (uniform fractional grids like 0.5-weighted meshes).
+func quantScales(v []float64) []float64 {
+	minPos := math.Inf(1)
+	for _, x := range v {
+		if x > 0 && !math.IsInf(x, 1) && x < minPos {
+			minPos = x
+		}
+	}
+	scales := []float64{1}
+	if !math.IsInf(minPos, 1) && minPos != 1 {
+		scales = append(scales, minPos)
+	}
+	return scales
+}
+
+// quantizable reports whether every finite value in v is exactly
+// k·scale for an integer k in [0, maxK] — verified bit-for-bit, so a
+// positive answer guarantees lossless decode.
+func quantizable(v []float64, scale float64, maxK float64) bool {
+	for _, x := range v {
+		if math.IsInf(x, 1) {
+			continue
+		}
+		k := math.Round(x / scale)
+		if !(k >= 0 && k <= maxK) {
+			return false
+		}
+		if math.Float64bits(k*scale) != math.Float64bits(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// f32able reports whether every value in v survives a float32 round
+// trip bit-exactly (+Inf does; NaN and out-of-range magnitudes do not).
+func f32able(v []float64) bool {
+	for _, x := range v {
+		if math.Float64bits(float64(float32(x))) != math.Float64bits(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func tierHeader(kind uint8, n int, scale float64) []byte {
+	b := make([]byte, 0, tierHeaderLen)
+	b = append(b, tierMagic...)
+	b = append(b, kind, 0, 0, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(scale))
+	return b
+}
+
+// CompressDist encodes a square distance matrix into the smallest
+// lossless tier representation. It never fails: the fallback chain ends
+// at raw float64 bits.
+func CompressDist(d *semiring.Matrix) []byte {
+	if d == nil || d.Rows != d.Cols {
+		panic("oracle: CompressDist needs a square distance matrix")
+	}
+	n, v := d.Rows, d.V
+	for _, scale := range quantScales(v) {
+		if quantizable(v, scale, float64(tierInfU16)-1) {
+			b := append(tierHeader(tierU16, n, scale), make([]byte, 0, 2*len(v))...)
+			for _, x := range v {
+				k := tierInfU16
+				if !math.IsInf(x, 1) {
+					k = uint16(math.Round(x / scale))
+				}
+				b = binary.LittleEndian.AppendUint16(b, k)
+			}
+			return b
+		}
+		if quantizable(v, scale, float64(tierInfU32)-1) {
+			b := append(tierHeader(tierU32, n, scale), make([]byte, 0, 4*len(v))...)
+			for _, x := range v {
+				k := tierInfU32
+				if !math.IsInf(x, 1) {
+					k = uint32(math.Round(x / scale))
+				}
+				b = binary.LittleEndian.AppendUint32(b, k)
+			}
+			return b
+		}
+	}
+	if f32able(v) {
+		b := append(tierHeader(tierF32, n, 1), make([]byte, 0, 4*len(v))...)
+		for _, x := range v {
+			b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(x)))
+		}
+		return b
+	}
+	b := append(tierHeader(tierF64, n, 1), make([]byte, 0, 8*len(v))...)
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+// DecompressDist decodes a CompressDist blob back into the original
+// distance matrix, bit-identical to what was compressed. Malformed
+// input yields an error, never a panic.
+func DecompressDist(blob []byte) (*semiring.Matrix, error) {
+	kind, n, scale, payload, err := tierSplit(blob)
+	if err != nil {
+		return nil, err
+	}
+	v := make([]float64, n*n)
+	switch kind {
+	case tierU16:
+		for i := range v {
+			k := binary.LittleEndian.Uint16(payload[2*i:])
+			if k == tierInfU16 {
+				v[i] = semiring.Inf
+			} else {
+				v[i] = float64(k) * scale
+			}
+		}
+	case tierU32:
+		for i := range v {
+			k := binary.LittleEndian.Uint32(payload[4*i:])
+			if k == tierInfU32 {
+				v[i] = semiring.Inf
+			} else {
+				v[i] = float64(k) * scale
+			}
+		}
+	case tierF32:
+		for i := range v {
+			v[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
+		}
+	default: // tierF64, validated by tierSplit
+		for i := range v {
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	}
+	return semiring.FromSlice(n, n, v), nil
+}
+
+// CompressedInfo reports a blob's representation kind ("u16", "u32",
+// "f32", "f64") and matrix dimension without decoding the payload — the
+// cheap probe the stats and E23 harness use.
+func CompressedInfo(blob []byte) (kind string, n int, err error) {
+	k, n, _, _, err := tierSplit(blob)
+	if err != nil {
+		return "", 0, err
+	}
+	return tierKindName(k), n, nil
+}
+
+// tierSplit validates the envelope and returns kind, n, scale and the
+// payload slice. Every length is checked before any payload access.
+func tierSplit(blob []byte) (kind uint8, n int, scale float64, payload []byte, err error) {
+	if len(blob) < tierHeaderLen {
+		return 0, 0, 0, nil, fmt.Errorf("oracle: compressed blob too short (%d bytes)", len(blob))
+	}
+	if string(blob[:len(tierMagic)]) != tierMagic {
+		return 0, 0, 0, nil, fmt.Errorf("oracle: bad compressed-tier magic")
+	}
+	kind = blob[8]
+	if kind > tierF64 {
+		return 0, 0, 0, nil, fmt.Errorf("oracle: unknown tier kind %d", kind)
+	}
+	if blob[9] != 0 || blob[10] != 0 || blob[11] != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("oracle: nonzero reserved bytes in tier header")
+	}
+	un := binary.LittleEndian.Uint32(blob[12:])
+	if un > 1<<20 {
+		return 0, 0, 0, nil, fmt.Errorf("oracle: implausible tier dimension %d", un)
+	}
+	n = int(un)
+	scale = math.Float64frombits(binary.LittleEndian.Uint64(blob[16:]))
+	switch kind {
+	case tierU16, tierU32:
+		if !(scale > 0) || math.IsInf(scale, 1) {
+			return 0, 0, 0, nil, fmt.Errorf("oracle: invalid quantization scale %v", scale)
+		}
+	default:
+		if math.Float64bits(scale) != math.Float64bits(1) {
+			return 0, 0, 0, nil, fmt.Errorf("oracle: float tier blob carries scale %v, want 1", scale)
+		}
+	}
+	elem := map[uint8]int{tierU16: 2, tierU32: 4, tierF32: 4, tierF64: 8}[kind]
+	want := uint64(n) * uint64(n) * uint64(elem)
+	payload = blob[tierHeaderLen:]
+	if uint64(len(payload)) != want {
+		return 0, 0, 0, nil, fmt.Errorf("oracle: tier payload is %d bytes, want %d for n=%d kind %s",
+			len(payload), want, n, tierKindName(kind))
+	}
+	return kind, n, scale, payload, nil
+}

@@ -1,0 +1,41 @@
+package oracle
+
+import (
+	"testing"
+
+	"sparseapsp/internal/semiring"
+)
+
+// FuzzDecompressMalformed mutates valid compressed-tier blobs (one per
+// representation kind) and arbitrary junk, requiring the decoder to
+// return an error or a well-formed square matrix — never panic. Like
+// the plan codec (and unlike the semiring pack codec's
+// decode-or-panic), tier blobs outlive the solve that produced them, so
+// the decoder must fail closed. No recover() here — a panic fails.
+func FuzzDecompressMalformed(f *testing.F) {
+	inf := semiring.Inf
+	seed := func(vals []float64, n int) {
+		f.Add(CompressDist(semiring.FromSlice(n, n, vals)))
+	}
+	seed([]float64{0, 3, 7, inf}, 2)                       // u16
+	seed([]float64{0, 70000, 1e9, inf}, 2)                 // u32
+	seed([]float64{0, 1.5, 2.5, inf}, 2)                   // f32
+	seed([]float64{0, 0.1, 0.3, inf}, 2)                   // f64
+	seed([]float64{0, 0.25, 1.5, inf, 0.5, 0, 2, 0, 0}, 3) // u16, scale 0.25
+	f.Add([]byte{})
+	f.Add([]byte(tierMagic))
+	f.Add([]byte("definitely not a compressed distance blob, but long enough"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecompressDist(data)
+		if err != nil {
+			return
+		}
+		if m == nil || m.Rows != m.Cols || len(m.V) != m.Rows*m.Cols {
+			t.Fatalf("accepted blob decoded to malformed matrix %+v", m)
+		}
+		if _, n, err := CompressedInfo(data); err != nil || n != m.Rows {
+			t.Fatalf("CompressedInfo disagrees with DecompressDist: n=%d err=%v vs rows=%d", n, err, m.Rows)
+		}
+	})
+}

@@ -414,13 +414,23 @@ type RegistrySnapshot struct {
 	// whose coalesced waiters are still pending. The drain path waits
 	// on this through Registry.Quiesce, and the router surfaces it as
 	// backend load.
-	SolvesInFlight  int64   `json:"solves_in_flight"`
-	Hits            int64   `json:"hits"`
-	Misses          int64   `json:"misses"`
-	Evictions       int64   `json:"evictions"`
-	Entries         int     `json:"entries"`
-	Bytes           int64   `json:"bytes"`
-	BudgetBytes     int64   `json:"budget_bytes"`
+	SolvesInFlight int64 `json:"solves_in_flight"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	Entries        int   `json:"entries"`
+	Bytes          int64 `json:"bytes"`
+	BudgetBytes    int64 `json:"budget_bytes"`
+	// Tiered-memory counters: demotions re-encode an LRU-evicted
+	// oracle into the compressed tier (losslessly quantized distances),
+	// promotions decode one back on access; compressed_* describe that
+	// tier's occupancy. All zero when the tier is disabled.
+	Demotions             int64 `json:"demotions"`
+	Promotions            int64 `json:"promotions"`
+	CompressedEntries     int   `json:"compressed_entries"`
+	CompressedBytes       int64 `json:"compressed_bytes"`
+	CompressedBudgetBytes int64 `json:"compressed_budget_bytes"`
+
 	SolveMs         float64 `json:"solve_ms"`
 	QueriesServed   int64   `json:"queries_served"`
 	QueriesInFlight int64   `json:"queries_in_flight"`
@@ -437,6 +447,12 @@ type RegistrySnapshot struct {
 	PlanHits    int64   `json:"plan_hits"`
 	PlanEntries int     `json:"plan_entries"`
 	PlanBuildMs float64 `json:"plan_build_ms"`
+	// Persistent plan-store counters: a disk hit is a plan served from
+	// the on-disk store with zero symbolic work — the warm-restart
+	// path. All zero without a -plan-dir.
+	PlanDiskHits   int64 `json:"plan_disk_hits"`
+	PlanDiskWrites int64 `json:"plan_disk_writes"`
+	PlanDiskErrors int64 `json:"plan_disk_errors"`
 	// Simulated communication totals of every solve and repair
 	// fallback the registry ran: words_moved is the all-rank sum,
 	// words_by_phase splits it by schedule phase (r2, r3, r4-panel,
@@ -455,14 +471,21 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 	resp := StatszResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Registry: RegistrySnapshot{
-			Solves:          st.Solves,
-			SolvesInFlight:  st.SolvesInFlight,
-			Hits:            st.Hits,
-			Misses:          st.Misses,
-			Evictions:       st.Evictions,
-			Entries:         st.Entries,
-			Bytes:           st.Bytes,
-			BudgetBytes:     st.BudgetBytes,
+			Solves:         st.Solves,
+			SolvesInFlight: st.SolvesInFlight,
+			Hits:           st.Hits,
+			Misses:         st.Misses,
+			Evictions:      st.Evictions,
+			Entries:        st.Entries,
+			Bytes:          st.Bytes,
+			BudgetBytes:    st.BudgetBytes,
+
+			Demotions:             st.Demotions,
+			Promotions:            st.Promotions,
+			CompressedEntries:     st.CompressedEntries,
+			CompressedBytes:       st.CompressedBytes,
+			CompressedBudgetBytes: st.CompressedBudgetBytes,
+
 			SolveMs:         float64(st.SolveNanos) / 1e6,
 			QueriesServed:   st.QueriesServed,
 			QueriesInFlight: st.QueriesInFlight,
@@ -474,6 +497,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 			PlanHits:        st.PlanHits,
 			PlanEntries:     st.PlanEntries,
 			PlanBuildMs:     float64(st.PlanBuildNanos) / 1e6,
+			PlanDiskHits:    st.PlanDiskHits,
+			PlanDiskWrites:  st.PlanDiskWrites,
+			PlanDiskErrors:  st.PlanDiskErrors,
 			WordsMoved:      st.WordsMoved,
 			WordsByPhase:    st.WordsByPhase,
 		},
