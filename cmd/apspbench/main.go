@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: all, none, table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, comm, plan, exec, reweight, opcount, perlevel, balance, weak, strong, serve, store, fig1")
+		exp          = flag.String("exp", "all", "experiment: all, none, or a comma-separated list of table2-memory, table2-bandwidth, table2-latency, factors, lower, sepcost, crossover, wire, comm, plan, exec, sched, reweight, opcount, perlevel, balance, weak, strong, serve, store, fig1")
 		sides        = flag.String("sides", "16,24,32", "comma-separated 2D grid sides (n = side²)")
 		ps           = flag.String("ps", "9,49,225,961", "comma-separated machine sizes (sparse algorithm needs (2^h-1)²)")
 		seed         = flag.Int64("seed", 42, "nested-dissection seed")
@@ -41,6 +41,9 @@ func main() {
 		bench        = flag.String("bench-out", "", "write the perf-row benchmark sweep (family, n, p, kernel, wire, ns/op, words, flops) as JSON to this file")
 		force        = flag.Bool("force", false, "allow -bench-out to overwrite an existing file (committed reference runs are protected by default)")
 		exec         = flag.String("executor", "dataflow", "plan executor for every experiment: dataflow (bounded worker pool, the default) or machine (goroutine per rank); costs are identical, wall-clock differs")
+		schedule     = flag.String("schedule", "critical", "dataflow scheduling policy: critical (critical-path priorities with work stealing, the default) or fifo (unordered ready queue, the ablation baseline); costs are identical, wall-clock differs")
+		fuse         = flag.String("fuse", "on", "dataflow node fusion: on (fused panel chains + coalesced relay runs, the default) or off (one scheduler node per plan op, the ablation baseline); costs are identical, wall-clock differs")
+		execWorkers  = flag.Int("exec-workers", 0, "dataflow executor worker count; 0 = auto (sized from the host, capped at p)")
 		reps         = flag.Int("exec-reps", 5, "timed repetitions per executor in the exec experiment (best-of)")
 		serveN       = flag.Int("serve-n", 256, "serve experiment: grid workload size (n = side²)")
 		serveClients = flag.Int("serve-clients", 16, "serve experiment: concurrent load-generator clients")
@@ -65,6 +68,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sched, err := apsp.ParseSchedule(*schedule)
+	if err != nil {
+		fatal(err)
+	}
+	fu, err := apsp.ParseFuse(*fuse)
+	if err != nil {
+		fatal(err)
+	}
+	// 0 means auto; an explicit -exec-workers must name at least one
+	// worker. flag.Visit distinguishes "-exec-workers 0" from the default.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exec-workers" && *execWorkers < 1 {
+			fatal(fmt.Errorf("-exec-workers %d: want at least 1 worker (omit the flag for auto)", *execWorkers))
+		}
+	})
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -73,6 +91,9 @@ func main() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
+		// Label dataflow node execution with op_kind/phase/level so the
+		// profile attributes kernel time per op class.
+		apsp.EnableProfileLabels(true)
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
@@ -100,6 +121,9 @@ func main() {
 		Kernel:       kern,
 		Wire:         wf,
 		Executor:     ex,
+		Schedule:     sched,
+		Fuse:         fu,
+		ExecWorkers:  *execWorkers,
 	}
 
 	needSuite := map[string]bool{"all": true, "table2-memory": true,
@@ -162,6 +186,9 @@ func main() {
 		case "exec":
 			t, err := harness.ExecutorComparison(cfg, *reps)
 			show(name, t, err)
+		case "sched":
+			t, err := harness.SchedulerAblation(cfg, *reps)
+			show(name, t, err)
 		case "reweight":
 			t, err := harness.ReweightAblation(cfg, *xn, *xp, *reps)
 			show(name, t, err)
@@ -216,11 +243,15 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table2-memory", "table2-bandwidth", "table2-latency",
-			"factors", "lower", "sepcost", "crossover", "wire", "comm", "plan", "exec", "reweight", "opcount", "perlevel", "balance", "weak", "strong", "serve", "store", "fig1"} {
+			"factors", "lower", "sepcost", "crossover", "wire", "comm", "plan", "exec", "sched", "reweight", "opcount", "perlevel", "balance", "weak", "strong", "serve", "store", "fig1"} {
 			run(name)
 		}
 	} else {
-		run(*exp)
+		for _, name := range strings.Split(*exp, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				run(name)
+			}
+		}
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

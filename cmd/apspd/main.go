@@ -75,6 +75,9 @@ func main() {
 		compMB   = flag.Int64("compressed-budget-mb", 0, "compressed-tier budget in MiB: LRU-evicted oracles demote to losslessly quantized distance blobs and promote back on access (0 = tier disabled, evictions drop)")
 		planDir  = flag.String("plan-dir", "", "persist symbolic plans to this directory: a restarted process reloads them and serves warm solves with zero symbolic rebuilds (empty = memory-only cache)")
 		exec     = flag.String("executor", "dataflow", "plan executor for sparse solves: dataflow (worker pool) or machine (goroutine per rank)")
+		schedule = flag.String("schedule", "critical", "dataflow scheduling policy: critical (critical-path priorities, the default) or fifo (unordered ready queue)")
+		fuse     = flag.String("fuse", "on", "dataflow node fusion: on (fused panel chains + coalesced relay runs, the default) or off (one node per plan op)")
+		workers  = flag.Int("exec-workers", 0, "dataflow executor worker count; 0 = auto (sized from the host, capped at p)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables profiling")
 
 		// router-mode flags
@@ -102,12 +105,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		sched, err := sparseapsp.ParseSchedule(*schedule)
+		if err != nil {
+			fatal(err)
+		}
+		fu, err := sparseapsp.ParseFuse(*fuse)
+		if err != nil {
+			fatal(err)
+		}
+		// 0 means auto; an explicit -exec-workers must name at least one
+		// worker. flag.Visit distinguishes "-exec-workers 0" from the
+		// default.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exec-workers" && *workers < 1 {
+				fatal(fmt.Errorf("-exec-workers %d: want at least 1 worker (omit the flag for auto)", *workers))
+			}
+		})
 		opts := sparseapsp.Options{
-			Algorithm: sparseapsp.Algorithm(*alg),
-			P:         *p,
-			Seed:      *seed,
-			Kernel:    kern,
-			Executor:  ex,
+			Algorithm:   sparseapsp.Algorithm(*alg),
+			P:           *p,
+			Seed:        *seed,
+			Kernel:      kern,
+			Executor:    ex,
+			Schedule:    sched,
+			Fuse:        fu,
+			ExecWorkers: *workers,
 		}
 		if *planDir != "" {
 			plans, err := sparseapsp.NewPlanCacheAt(*planDir)
@@ -162,6 +184,10 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	if *pprofA != "" {
+		// Label dataflow node execution with op_kind/phase/level so CPU
+		// profiles taken through this endpoint attribute solver time per
+		// op class.
+		sparseapsp.EnableProfileLabels(true)
 		// The pprof handlers live on the default mux, which the query
 		// server never serves — profiling stays off the public address.
 		go func() {

@@ -1,7 +1,12 @@
 package apsp
 
 import (
+	"context"
 	"fmt"
+	"math/bits"
+	"runtime/pprof"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"sparseapsp/internal/comm"
@@ -15,31 +20,54 @@ import (
 // linear-scan message matching only re-derive, expensively, a partial
 // order that is already known. This file lowers the per-rank step
 // lists into that partial order explicitly — a static dependency graph
-// whose nodes are (rank, op) participations and whose edges are each
-// rank's program order plus one edge per point-to-point message hidden
-// inside the collectives — and runs ready nodes on a bounded worker
-// pool (semiring.Pool, GOMAXPROCS-ish workers) instead of p rank
-// goroutines. Message payloads move by direct buffer handoff through
-// preallocated slots; cost accounting becomes deterministic replay on
-// a comm.Replay ledger, advancing each rank's clock in the rank's plan
-// order as its nodes retire.
+// whose micro-nodes are (rank, op) participations and whose edges are
+// each rank's program order plus one edge per point-to-point message
+// hidden inside the collectives — and runs ready nodes on a bounded
+// worker pool (semiring.Pool, GOMAXPROCS-ish workers) instead of p
+// rank goroutines. Message payloads move by direct buffer handoff
+// through preallocated slots; cost accounting becomes deterministic
+// replay on a comm.Replay ledger, advancing each rank's clock in the
+// rank's plan order as its nodes retire.
+//
+// Scheduler v2 (see DESIGN.md) adds three lowering/executing upgrades,
+// each ablatable and default-on:
+//
+//   - Coalescing + fusion (SparseOptions.Fuse): consecutive micro-nodes
+//     of one rank are merged into super-nodes whenever the merge
+//     provably cannot create a dependency cycle, shrinking the
+//     scheduled graph (fewer enqueues, atomics and panic fences) while
+//     executing the exact same micro sequence — charged costs and
+//     message counts are untouched. Runs of R2 panel updates inside a
+//     super-node execute through the fused
+//     semiring.Kernel.PanelUpdateMultiScratch, which keeps the
+//     destination block hot across the accumulations.
+//   - Critical-path priorities (SparseOptions.Schedule): every
+//     super-node carries the longest cost path from itself to any sink
+//     (comm.PriorityCost over the same per-op quantities the ledger
+//     charges), computed by a reverse topological sweep at lowering.
+//     The critical schedule replaces the unordered ready channel with
+//     per-worker max-heaps plus stealing, so the most critical ready
+//     node runs first; the fifo schedule keeps the original channel as
+//     the ablation baseline.
 //
 // The result is bit-identical to the machine executor in distances and
-// in every charged cost. The argument (spelled out in DESIGN.md):
-// both executors issue, per rank, the same sequence of charge
-// operations in the same order — program order is enforced by the
-// next-node edge, each receive is wired to the unique (src, tag)
-// message the machine's matching would have picked (tags are unique
-// per plan op and a rank receives at most once per (src, tag) within
-// an op), and ChargeSend/ChargeRecv reproduce Ctx.Send/Ctx.Recv's
-// snapshot-then-charge and merge-then-charge rules verbatim. Clocks
-// are a deterministic fold over those sequences, so they agree by
-// induction over plan order; the numeric kernels see the same operand
-// bytes in the same order, so distances agree bit for bit.
+// in every charged cost, for every schedule × fuse combination. The
+// argument (spelled out in DESIGN.md): both executors issue, per rank,
+// the same sequence of charge operations in the same order — program
+// order is enforced by the next edge (micro order inside a super-node,
+// the next link across them), each receive is wired to the unique
+// (src, tag) message the machine's matching would have picked, and
+// ChargeSend/ChargeRecv reproduce Ctx.Send/Ctx.Recv's
+// snapshot-then-charge and merge-then-charge rules verbatim. Merging
+// only concatenates one rank's adjacent charge runs without reordering
+// them, so clocks — a deterministic fold over those sequences — agree
+// by induction over plan order; the numeric kernels see the same
+// operand bytes in the same order, so distances agree bit for bit.
 
-// Node kinds. One dfNode is one rank's participation in one plan op,
-// or a local glue step (init, the R3 combine, the R4 release, a phase
-// mark) that the machine executor ran inline between collectives.
+// Node kinds. One micro-node is one rank's participation in one plan
+// op, or a local glue step (init, the R3 combine, the R4 release, a
+// phase mark) that the machine executor ran inline between
+// collectives.
 const (
 	dfInit   uint8 = iota // SetMemory(len(A)) — each rank's first node
 	dfDiag                // R1: ClassicalFW on the owned diagonal block
@@ -54,36 +82,85 @@ const (
 	dfSeq                 // R4 sequential-ablation exchange
 	dfTrans               // transpose send/receive
 	dfMark                // per-level phase mark
+	dfNumKinds
 )
 
-// dfNode is one vertex of the lowered graph. recvs and sends list the
-// node's message slots in charge order — the exact order the machine
-// executor would have charged them on this rank.
+// dfKindNames and dfPhaseNames back the runtime/pprof labels: op_kind
+// is the micro-node kind, phase the paper region it belongs to.
+var dfKindNames = [dfNumKinds]string{
+	"init", "diag", "r2", "r3", "r3mul", "r4col", "r4row",
+	"unit", "reduce", "r4done", "seq", "trans", "mark",
+}
+
+var dfPhaseNames = [dfNumKinds]string{
+	"init", "r1", "r2", "r3", "r3", "r4", "r4",
+	"r4", "r4-reduce", "r4", "r4-seq", "trans", "mark",
+}
+
+// dfNode is one micro-node of the lowered graph. recvs and sends list
+// the node's message slots in charge order — the exact order the
+// machine executor would have charged them on this rank.
 type dfNode struct {
 	rank  int32
 	kind  uint8
 	level int32 // index into Plan.Levels, -1 for dfInit
 	op    int32 // index into the level's phase list (kind-dependent)
 	next  int32 // same-rank successor in program order, -1 if last
-	deps  int32 // initial dependency count: program pred + len(recvs)
 	recvs []int32
 	sends []int32
+}
+
+// dfSuper is one scheduled node: a run of count consecutive micro-nodes
+// of one rank (micro ids [first, first+count), contiguous because
+// lowering emits each rank's program in one block). With fusion off
+// every super-node holds exactly one micro-node.
+type dfSuper struct {
+	first int32
+	count int32
+	next  int32 // same-rank successor super-node, -1 if last
+	deps  int32 // initial dependency count: program pred + member recvs
+	prio  int64 // longest cost path to a sink (critical-path priority)
 }
 
 // dfProgram is the complete lowered graph: immutable once built,
 // shared by every concurrent Execute of the plan.
 type dfProgram struct {
-	nodes       []dfNode
-	msgConsumer []int32  // message slot -> consuming node
-	seeds       []int32  // nodes with deps == 0 (each rank's dfInit)
+	micros      []dfNode
+	supers      []dfSuper
+	superOf     []int32  // micro id -> owning super-node
+	msgConsumer []int32  // message slot -> consuming micro-node
+	seeds       []int32  // super-nodes with deps == 0 (each rank's head)
 	levelNames  []string // "level-1".. precomputed mark ids
 	maxScratch  int      // max ScratchWords over ranks: per-worker arena size
+
+	// Static priority rank: prioIdx[sid] is the super-node's position
+	// in (prio desc, id asc) order and prioSid is its inverse.
+	// Priorities are pure functions of the symbolic schedule, so the
+	// total order is frozen at lowering — the runtime schedulers compare
+	// dense int32 positions (parallel heaps) or index a ready bitmap by
+	// them (serial mode) instead of chasing prio through the supers.
+	prioIdx []int32
+	prioSid []int32
 }
 
-// dataflow returns the plan's lowered graph, built once and cached.
-func (pl *Plan) dataflow() *dfProgram {
-	pl.dfOnce.Do(func() { pl.df = lowerPlan(pl) })
-	return pl.df
+// dataflow returns the plan's lowered graph for the requested fuse
+// mode, built once per mode and cached. Both lowerings are pure
+// functions of the symbolic schedule, so like the plan itself they are
+// weights-independent and immutable once built.
+func (pl *Plan) dataflow(fuse Fuse) *dfProgram {
+	i := 0
+	if fuse == FuseOff {
+		i = 1
+	}
+	pl.dfOnce[i].Do(func() { pl.df[i] = lowerPlan(pl, fuse == FuseOn) })
+	return pl.df[i]
+}
+
+// DataflowNodes reports the scheduled node count of the plan's lowered
+// graph under the given fuse mode (super-nodes; with fusion off this
+// equals the micro-node count). Exposed for the E24 ablation table.
+func (pl *Plan) DataflowNodes(fuse Fuse) int {
+	return len(pl.dataflow(fuse).supers)
 }
 
 // dfOpKey identifies one rank's node for one op during lowering, so
@@ -96,11 +173,13 @@ type dfOpKey struct {
 }
 
 // lowerPlan builds the dependency graph. Pass 1 emits each rank's
-// nodes in the rank's program order (the machine executor's order in
-// exec.go, exactly); pass 2 wires one message slot per point-to-point
-// send by replaying the binomial-tree arithmetic of comm's Bcast,
-// Reduce and ReduceTo; pass 3 counts dependencies.
-func lowerPlan(pl *Plan) *dfProgram {
+// micro-nodes in the rank's program order (the machine executor's
+// order in exec.go, exactly); pass 2 wires one message slot per
+// point-to-point send by replaying the binomial-tree arithmetic of
+// comm's Bcast, Reduce and ReduceTo; pass 3 computes a topological
+// order; pass 4 merges micro-nodes into super-nodes (fusion +
+// coalescing); pass 5 assigns critical-path priorities.
+func lowerPlan(pl *Plan, fuse bool) *dfProgram {
 	prog := &dfProgram{}
 	lookup := make(map[dfOpKey]int32)
 	last := make([]int32, pl.P)
@@ -109,10 +188,10 @@ func lowerPlan(pl *Plan) *dfProgram {
 		last[i] = -1
 	}
 	emit := func(rank int, kind uint8, level, op int32) int32 {
-		id := int32(len(prog.nodes))
-		prog.nodes = append(prog.nodes, dfNode{rank: int32(rank), kind: kind, level: level, op: op, next: -1})
+		id := int32(len(prog.micros))
+		prog.micros = append(prog.micros, dfNode{rank: int32(rank), kind: kind, level: level, op: op, next: -1})
 		if last[rank] >= 0 {
-			prog.nodes[last[rank]].next = id
+			prog.micros[last[rank]].next = id
 		} else {
 			heads = append(heads, id)
 		}
@@ -124,6 +203,8 @@ func lowerPlan(pl *Plan) *dfProgram {
 	}
 
 	// Pass 1: per-rank program order, mirroring planExec.run/level.
+	// Each rank's micro-nodes occupy one contiguous id range — the
+	// super-node pass depends on that.
 	for rank := 0; rank < pl.P; rank++ {
 		if w := pl.ScratchWords(rank); w > prog.maxScratch {
 			prog.maxScratch = w
@@ -176,12 +257,9 @@ func lowerPlan(pl *Plan) *dfProgram {
 		}
 	}
 
-	// Pass 2: message wiring.
-	newMsg := func(consumer int32) int32 {
-		m := int32(len(prog.msgConsumer))
-		prog.msgConsumer = append(prog.msgConsumer, consumer)
-		return m
-	}
+	// Pass 2: message wiring. msgProducer (transient, merge legality
+	// only) records the sending micro-node of every slot.
+	var msgProducer []int32
 	get := func(level int32, phase uint8, op int32, rank int) int32 {
 		id, ok := lookup[dfOpKey{level, phase, op, int32(rank)}]
 		if !ok {
@@ -189,9 +267,12 @@ func lowerPlan(pl *Plan) *dfProgram {
 		}
 		return id
 	}
-	link := func(from, to, msg int32) {
-		prog.nodes[from].sends = append(prog.nodes[from].sends, msg)
-		prog.nodes[to].recvs = append(prog.nodes[to].recvs, msg)
+	link := func(from, to int32) {
+		msg := int32(len(prog.msgConsumer))
+		prog.msgConsumer = append(prog.msgConsumer, to)
+		msgProducer = append(msgProducer, from)
+		prog.micros[from].sends = append(prog.micros[from].sends, msg)
+		prog.micros[to].recvs = append(prog.micros[to].recvs, msg)
 	}
 	// wireBcast replays comm.Ctx.bcast: a non-root member receives once
 	// from the rank differing in its lowest relative-position bit, then
@@ -218,8 +299,7 @@ func lowerPlan(pl *Plan) *dfProgram {
 				}
 				for m := mask >> 1; m > 0; m >>= 1 {
 					if rel+m < q {
-						child := get(level, phase, int32(x), op.Group[(rel+m+rootPos)%q])
-						link(node, child, newMsg(child))
+						link(node, get(level, phase, int32(x), op.Group[(rel+m+rootPos)%q]))
 					}
 				}
 			}
@@ -261,50 +341,274 @@ func lowerPlan(pl *Plan) *dfProgram {
 						break // this member's send is wired by its parent
 					}
 					if srcRel := rel | mask; srcRel < q {
-						src := get(l, dfReduce, int32(x), op.Group[(srcRel+rootPos)%q])
-						link(src, node, newMsg(node))
+						link(get(l, dfReduce, int32(x), op.Group[(srcRel+rootPos)%q]), node)
 					}
 				}
 			}
 			if !rootInGroup {
-				rootNode := get(l, dfReduce, int32(x), op.Root)
-				g0 := get(l, dfReduce, int32(x), op.Group[0])
-				link(g0, rootNode, newMsg(rootNode))
+				link(get(l, dfReduce, int32(x), op.Group[0]), get(l, dfReduce, int32(x), op.Root))
 			}
 		}
 		for x := range lv.R4Seq {
 			op := &lv.R4Seq[x]
 			owner := get(l, dfSeq, int32(x), op.Owner)
 			if op.AikOwner != op.Owner {
-				a := get(l, dfSeq, int32(x), op.AikOwner)
-				link(a, owner, newMsg(owner)) // aik first: the owner receives TagA before TagB
+				link(get(l, dfSeq, int32(x), op.AikOwner), owner) // aik first: the owner receives TagA before TagB
 			}
 			if op.AkjOwner != op.Owner {
-				b := get(l, dfSeq, int32(x), op.AkjOwner)
-				link(b, owner, newMsg(owner))
+				link(get(l, dfSeq, int32(x), op.AkjOwner), owner)
 			}
 		}
 		for x := range lv.Trans {
 			op := &lv.Trans[x]
-			src := get(l, dfTrans, int32(x), op.Src)
-			dst := get(l, dfTrans, int32(x), op.Dst)
-			link(src, dst, newMsg(dst))
+			link(get(l, dfTrans, int32(x), op.Src), get(l, dfTrans, int32(x), op.Dst))
 		}
 	}
 
-	// Pass 3: dependency counts and seeds.
-	for id := range prog.nodes {
-		prog.nodes[id].deps = int32(len(prog.nodes[id].recvs)) + 1
+	// Pass 3: topological order of the micro graph (Kahn, FIFO). pos is
+	// a linear extension of the dependency partial order; the merge
+	// legality rule and the priority sweep both lean on it.
+	pend := make([]int32, len(prog.micros))
+	for id := range prog.micros {
+		pend[id] = int32(len(prog.micros[id].recvs)) + 1
 	}
 	for _, id := range heads {
-		prog.nodes[id].deps--
+		pend[id]--
 	}
-	for id := range prog.nodes {
-		if prog.nodes[id].deps == 0 {
-			prog.seeds = append(prog.seeds, int32(id))
+	order := make([]int32, 0, len(prog.micros))
+	pos := make([]int32, len(prog.micros))
+	for id := range pend {
+		if pend[id] == 0 {
+			order = append(order, int32(id))
 		}
 	}
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		pos[u] = int32(qi)
+		release := func(v int32) {
+			pend[v]--
+			if pend[v] == 0 {
+				order = append(order, v)
+			}
+		}
+		if nx := prog.micros[u].next; nx >= 0 {
+			release(nx)
+		}
+		for _, m := range prog.micros[u].sends {
+			release(prog.msgConsumer[m])
+		}
+	}
+	// A cycle in the micro graph is a lowering bug; the executor's
+	// stall detector reports it. Merging on top of a broken order could
+	// only make diagnosis harder, so fall back to 1:1 super-nodes.
+	if len(order) != len(prog.micros) {
+		fuse = false
+	}
+
+	// Pass 4: super-nodes. Walk each rank's contiguous micro run and
+	// greedily extend the current super-node while the merge is legal:
+	// micro v may join the run headed by h iff every message v receives
+	// is produced at a position before pos[h]. Legality argument (the
+	// coalescing invariant, spelled out in DESIGN.md): order every
+	// super-node by ψ = pos of its head. A program edge strictly
+	// increases ψ; a message edge into a head strictly increases ψ
+	// (producer precedes consumer in any linear extension); a message
+	// edge into a non-head member has producer position < ψ of the
+	// member's head by the rule, and the producer's own head is at or
+	// before it — so every edge of the merged graph strictly increases
+	// ψ, and the merged graph is acyclic (no new deadlocks). Strictness
+	// matters: allowing producers *at* ψ admits two ranks whose runs
+	// wait on each other's heads.
+	prog.superOf = make([]int32, len(prog.micros))
+	for mi := 0; mi < len(prog.micros); {
+		rank := prog.micros[mi].rank
+		sid := int32(len(prog.supers))
+		prog.supers = append(prog.supers, dfSuper{first: int32(mi), count: 1, next: -1})
+		prog.superOf[mi] = sid
+		headPos := pos[mi]
+		deps := int32(len(prog.micros[mi].recvs)) // rank head: no program pred
+		for mi++; mi < len(prog.micros) && prog.micros[mi].rank == rank; mi++ {
+			v := &prog.micros[mi]
+			legal := fuse
+			for _, m := range v.recvs {
+				if pos[msgProducer[m]] >= headPos {
+					legal = false
+					break
+				}
+			}
+			if legal {
+				s := &prog.supers[sid]
+				s.count++
+				prog.superOf[mi] = sid
+				deps += int32(len(v.recvs))
+			} else {
+				prog.supers[sid].deps = deps
+				sid = int32(len(prog.supers))
+				prog.supers = append(prog.supers, dfSuper{first: int32(mi), count: 1, next: -1})
+				prog.supers[sid-1].next = sid
+				prog.superOf[mi] = sid
+				headPos = pos[mi]
+				deps = int32(len(v.recvs)) + 1 // program pred
+			}
+		}
+		prog.supers[sid].deps = deps
+	}
+	for sid := range prog.supers {
+		if prog.supers[sid].deps == 0 {
+			prog.seeds = append(prog.seeds, int32(sid))
+		}
+	}
+
+	// Pass 5: critical-path priorities. Per-micro scheduling weights
+	// come from the same quantities the ledger charges
+	// (comm.PriorityCost); a super-node's priority is its members' cost
+	// plus the max successor priority — the longest cost path to a
+	// sink. Iterating super-nodes by descending ψ is a reverse
+	// topological sweep (every edge increases ψ, shown above).
+	costs := make([]int64, len(prog.micros))
+	for id := range prog.micros {
+		costs[id] = microCost(pl, &prog.micros[id])
+	}
+	for qi := len(order) - 1; qi >= 0; qi-- {
+		mi := order[qi]
+		sid := prog.superOf[mi]
+		s := &prog.supers[sid]
+		if s.first != mi {
+			continue // priorities are assigned when the head is reached
+		}
+		best := int64(0)
+		if s.next >= 0 {
+			best = prog.supers[s.next].prio
+		}
+		var c int64
+		for m := s.first; m < s.first+s.count; m++ {
+			c += costs[m]
+			for _, msg := range prog.micros[m].sends {
+				if p := prog.supers[prog.superOf[prog.msgConsumer[msg]]].prio; p > best {
+					best = p
+				}
+			}
+		}
+		s.prio = c + best
+	}
+
+	// Freeze the priority total order (prio desc, id asc): the runtime
+	// schedulers work with these dense positions.
+	prog.prioSid = make([]int32, len(prog.supers))
+	for i := range prog.prioSid {
+		prog.prioSid[i] = int32(i)
+	}
+	sort.Slice(prog.prioSid, func(a, b int) bool {
+		sa, sb := prog.prioSid[a], prog.prioSid[b]
+		pa, pb := prog.supers[sa].prio, prog.supers[sb].prio
+		return pa > pb || (pa == pb && sa < sb)
+	})
+	prog.prioIdx = make([]int32, len(prog.supers))
+	for pos, sid := range prog.prioSid {
+		prog.prioIdx[sid] = int32(pos)
+	}
 	return prog
+}
+
+// microCost estimates one micro-node's scheduling weight using the
+// dense block dimensions of its op — the same message, word and flop
+// quantities the replay ledger charges, collapsed by
+// comm.PriorityCost. Payload words use the dense upper bound (the
+// packed/pruned encodings shrink data-dependently; priorities must be
+// a pure function of the symbolic schedule). Estimates only order
+// execution — they never feed the ledger.
+func microCost(pl *Plan, n *dfNode) int64 {
+	sizes := pl.ND.Sizes
+	bi := int64(sizes[int(n.rank)/pl.NSup+1])
+	bj := int64(sizes[int(n.rank)%pl.NSup+1])
+	msgs := int64(len(n.recvs) + len(n.sends))
+	var words, flops int64
+	block := func(i, j int) int64 { return int64(sizes[i]) * int64(sizes[j]) }
+	switch n.kind {
+	case dfDiag:
+		flops = bi * bi * bi
+	case dfR2:
+		op := &pl.Levels[n.level].R2[n.op]
+		words = block(op.BI, op.BJ) * msgs
+		if contains(op.Consumers, int(n.rank)) {
+			if op.Kind == opR2Left {
+				flops = bi * bj * bj
+			} else {
+				flops = bi * bi * bj
+			}
+		}
+	case dfR3:
+		op := &pl.Levels[n.level].R3[n.op]
+		words = block(op.BI, op.BJ) * msgs
+	case dfR3Mul:
+		// A(i,j) ⊕= rowPanel(i,k) ⊗ colPanel(k,j): the pivot width is
+		// the column count of the captured row panel.
+		for _, x := range pl.ranks[n.rank][n.level].R3 {
+			op := &pl.Levels[n.level].R3[x]
+			if op.Kind == opR3Row && contains(op.Consumers, int(n.rank)) {
+				flops = bi * int64(sizes[op.BJ]) * bj
+				break
+			}
+		}
+	case dfR4Col:
+		op := &pl.Levels[n.level].R4Col[n.op]
+		words = block(op.BI, op.BJ) * msgs
+	case dfR4Row:
+		op := &pl.Levels[n.level].R4Row[n.op]
+		words = block(op.BI, op.BJ) * msgs
+	case dfUnit:
+		u := &pl.Levels[n.level].R4Units[n.op]
+		flops = int64(sizes[u.I]) * int64(sizes[u.K]) * int64(sizes[u.J])
+	case dfReduce:
+		op := &pl.Levels[n.level].R4Reduce[n.op]
+		words = block(op.BI, op.BJ) * msgs
+		if int(n.rank) == op.Root {
+			flops = block(op.BI, op.BJ)
+		}
+	case dfSeq:
+		op := &pl.Levels[n.level].R4Seq[n.op]
+		words = (block(op.BI, op.K) + block(op.K, op.BJ)) / 2 * msgs
+		if int(n.rank) == op.Owner {
+			flops = int64(sizes[op.BI]) * int64(sizes[op.K]) * int64(sizes[op.BJ])
+		}
+	case dfTrans:
+		op := &pl.Levels[n.level].Trans[n.op]
+		words = block(op.BI, op.BJ) * msgs
+	}
+	return comm.PriorityCost(msgs, words, flops)
+}
+
+// dfProfileLabels gates the runtime/pprof labels around micro-node
+// execution. Off by default: labeling costs a goroutine-label swap per
+// node, which the hot serving path must not pay.
+var dfProfileLabels atomic.Bool
+
+// EnableProfileLabels toggles pprof labels (op_kind, phase, level) on
+// dataflow node execution, so CPU profiles attribute time per op
+// class. cmd/apspbench enables it under -cpuprofile and cmd/apspd
+// under -pprof.
+func EnableProfileLabels(on bool) { dfProfileLabels.Store(on) }
+
+// buildLabelTable precomputes one pprof.LabelSet per (kind, level), so
+// the per-node cost under profiling is a table lookup, not a label
+// allocation.
+func buildLabelTable(prog *dfProgram) [][]pprof.LabelSet {
+	table := make([][]pprof.LabelSet, dfNumKinds)
+	for k := range table {
+		table[k] = make([]pprof.LabelSet, len(prog.levelNames)+1)
+		for l := range table[k] {
+			level := "-"
+			if l > 0 {
+				level = prog.levelNames[l-1]
+			}
+			table[k][l] = pprof.Labels(
+				"op_kind", dfKindNames[k],
+				"phase", dfPhaseNames[k],
+				"level", level,
+			)
+		}
+	}
+	return table
 }
 
 // dfSlot carries one message: the payload (zero-copy handoff, exactly
@@ -315,7 +619,7 @@ type dfSlot struct {
 	clock comm.Cost
 }
 
-const dfStop = int32(-1) // ready-queue sentinel: worker shutdown
+const dfStop = int32(-1) // fifo ready-queue sentinel: worker shutdown
 
 // dfRankState is one rank's mutable numeric state during a run: the
 // owned block plus the captured panels/operands that planExec held in
@@ -328,6 +632,15 @@ type dfRankState struct {
 	unit, unitAik, unitAkj *semiring.Matrix
 }
 
+// dfHeap is one worker's ready heap under the critical schedule: a
+// mutex-guarded binary max-heap on super-node priority, ties broken
+// toward the lower id (earlier plan position). Sharding the ready set
+// per worker keeps push/pop contention near zero; idle workers steal.
+type dfHeap struct {
+	mu  sync.Mutex
+	ids []int32
+}
+
 // dfRun is the per-Execute runtime state of the dataflow executor.
 type dfRun struct {
 	pl      *Plan
@@ -337,27 +650,55 @@ type dfRun struct {
 	led     *comm.Replay
 	ranks   []dfRankState
 	slots   []dfSlot
-	pending []int32 // per-node remaining deps, decremented atomically
-	ready   chan int32
+	pending []int32 // per-super remaining deps, decremented atomically
 	workers int
 	retired atomic.Int32
-	live    atomic.Int32 // nodes enqueued but not yet retired
+	live    atomic.Int32 // super-nodes enqueued but not yet retired
 	done    atomic.Bool
 	err     error // written once by the shutdown winner, read after join
 
-	// Serial mode (workers == 1, e.g. GOMAXPROCS=1): one goroutine
-	// executes everything, so the ready channel, sentinels and atomic
-	// counters are pure overhead — a plain stack replaces them.
-	serial bool
-	queue  []int32
+	// fifo schedule: the unordered buffered channel (the v1 executor,
+	// kept verbatim as the ablation baseline).
+	ready chan int32
+
+	// critical schedule: per-worker heaps with stealing, plus a parking
+	// lot for workers that found every heap empty. queued counts
+	// pushed-but-not-popped nodes so a parking worker cannot miss a
+	// push that raced its empty scan.
+	critical bool
+	heaps    []dfHeap
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	sleepers atomic.Int32
+	queued   atomic.Int64
+
+	// Serial mode (one worker, e.g. GOMAXPROCS=1): one goroutine
+	// executes everything, so channels, heap locks and atomic counters
+	// are pure overhead — a plain stack (fifo) or a ready bitmap over
+	// the frozen priority order (critical) replaces them. The bitmap
+	// makes the priority queue O(1)-ish: push sets the super-node's
+	// position bit, pop finds the lowest set position (= highest
+	// priority) through a two-level summary with find-first-set.
+	serial    bool
+	queue     []int32
+	bmWords   []uint64
+	bmSummary []uint64
+	bmHint    int // lowest summary word that can hold a set bit
+
+	// labels is the (kind, level) pprof label table, nil unless
+	// EnableProfileLabels(true) was called before this Execute.
+	labels [][]pprof.LabelSet
 }
 
 // executeDataflow is the dataflow counterpart of executeMachine.
-func (pl *Plan) executeDataflow(ly *Layout, kern semiring.Kernel) (*DistResult, error) {
-	prog := pl.dataflow()
+func (pl *Plan) executeDataflow(ly *Layout, o ExecOpts) (*DistResult, error) {
+	prog := pl.dataflow(o.Fuse)
 	blocks, release := ly.BlocksPooled()
 	pool := semiring.DefaultPool
-	workers := pool.Size()
+	workers := o.Workers
+	if workers <= 0 {
+		workers = pool.Size()
+	}
 	if workers > pl.P {
 		workers = pl.P
 	}
@@ -365,33 +706,39 @@ func (pl *Plan) executeDataflow(ly *Layout, kern semiring.Kernel) (*DistResult, 
 		workers = 1
 	}
 	x := &dfRun{
-		pl:      pl,
-		prog:    prog,
-		kern:    kern,
-		sizes:   pl.ND.Sizes,
-		led:     comm.NewReplay(pl.P),
-		ranks:   make([]dfRankState, pl.P),
-		slots:   make([]dfSlot, len(prog.msgConsumer)),
-		pending: make([]int32, len(prog.nodes)),
-		workers: workers,
-		serial:  workers == 1,
+		pl:       pl,
+		prog:     prog,
+		kern:     o.Kernel,
+		sizes:    pl.ND.Sizes,
+		led:      comm.NewReplay(pl.P),
+		ranks:    make([]dfRankState, pl.P),
+		slots:    make([]dfSlot, len(prog.msgConsumer)),
+		pending:  make([]int32, len(prog.supers)),
+		workers:  workers,
+		critical: o.Schedule == ScheduleCritical,
+		serial:   workers == 1,
+	}
+	if dfProfileLabels.Load() {
+		x.labels = buildLabelTable(prog)
 	}
 	for r := 0; r < pl.P; r++ {
 		x.ranks[r].A = blocks[r/pl.NSup+1][r%pl.NSup+1]
 	}
-	for id := range prog.nodes {
-		x.pending[id] = prog.nodes[id].deps
+	for sid := range prog.supers {
+		x.pending[sid] = prog.supers[sid].deps
 	}
 	if x.serial {
-		x.queue = append(make([]int32, 0, 64), prog.seeds...)
+		if x.critical {
+			x.bmWords = make([]uint64, (len(prog.supers)+63)/64)
+			x.bmSummary = make([]uint64, (len(x.bmWords)+63)/64)
+			for _, sid := range prog.seeds {
+				x.pushBitmap(sid)
+			}
+		} else {
+			x.queue = append(make([]int32, 0, 64), prog.seeds...)
+		}
 		x.runSerial(semiring.NewArena(prog.maxScratch))
 	} else {
-		// Capacity for every node plus every sentinel: enqueues never block.
-		x.ready = make(chan int32, len(prog.nodes)+workers)
-		for _, id := range prog.seeds {
-			x.live.Add(1)
-			x.ready <- id
-		}
 		// One scratch arena per worker, reused across every op the
 		// worker executes — w arenas total instead of the machine
 		// path's p.
@@ -399,7 +746,26 @@ func (pl *Plan) executeDataflow(ly *Layout, kern semiring.Kernel) (*DistResult, 
 		for i := range arenas {
 			arenas[i] = semiring.NewArena(prog.maxScratch)
 		}
-		pool.Drive(workers, func(i int) { x.drain(arenas[i]) })
+		if x.critical {
+			x.parkCond = sync.NewCond(&x.parkMu)
+			x.heaps = make([]dfHeap, workers)
+			for i, sid := range prog.seeds {
+				x.live.Add(1)
+				x.queued.Add(1)
+				h := &x.heaps[i%workers]
+				h.ids = append(h.ids, sid)
+				x.siftUp(h, len(h.ids)-1)
+			}
+			pool.Drive(workers, func(i int) { x.drainCritical(i, arenas[i]) })
+		} else {
+			// Capacity for every node plus every sentinel: enqueues never block.
+			x.ready = make(chan int32, len(prog.supers)+workers)
+			for _, sid := range prog.seeds {
+				x.live.Add(1)
+				x.ready <- sid
+			}
+			pool.Drive(workers, func(i int) { x.drain(i, arenas[i]) })
+		}
 	}
 	if x.err != nil {
 		return nil, fmt.Errorf("apsp: sparse solver failed: %w", x.err)
@@ -423,7 +789,9 @@ func (pl *Plan) executeDataflow(ly *Layout, kern semiring.Kernel) (*DistResult, 
 // runSerial is the single-worker loop: pop, execute, repeat. The
 // dependency counts make the queue a topological traversal, so an
 // empty queue before every node ran is the same lowering-cycle
-// condition the concurrent path's live counter detects.
+// condition the concurrent path's live counter detects. Under the
+// critical schedule the ready set is the priority bitmap, so even one
+// worker follows the exact priority order.
 func (x *dfRun) runSerial(a *semiring.Arena) {
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -431,85 +799,253 @@ func (x *dfRun) runSerial(a *semiring.Arena) {
 		}
 	}()
 	done := 0
-	for len(x.queue) > 0 {
-		id := x.queue[len(x.queue)-1]
-		x.queue = x.queue[:len(x.queue)-1]
-		x.exec(id, a)
-		done++
+	if x.critical {
+		for {
+			sid, ok := x.popBitmap()
+			if !ok {
+				break
+			}
+			x.execSuper(sid, 0, a)
+			done++
+		}
+	} else {
+		for len(x.queue) > 0 {
+			sid := x.queue[len(x.queue)-1]
+			x.queue = x.queue[:len(x.queue)-1]
+			x.execSuper(sid, 0, a)
+			done++
+		}
 	}
-	if done < len(x.prog.nodes) {
-		x.err = fmt.Errorf("dataflow executor stalled after %d of %d ops (dependency cycle in lowering)", done, len(x.prog.nodes))
+	if done < len(x.prog.supers) {
+		x.err = fmt.Errorf("dataflow executor stalled after %d of %d ops (dependency cycle in lowering)", done, len(x.prog.supers))
 	}
 }
 
-// drain executes ready nodes until a shutdown sentinel arrives.
-func (x *dfRun) drain(a *semiring.Arena) {
+// drain executes ready super-nodes until a shutdown sentinel arrives
+// (fifo schedule).
+func (x *dfRun) drain(w int, a *semiring.Arena) {
 	for {
-		id := <-x.ready
-		if id < 0 {
+		sid := <-x.ready
+		if sid < 0 {
 			return
 		}
-		x.execNode(id, a)
+		x.execSuperNode(sid, w, a)
 	}
 }
 
-func (x *dfRun) execNode(id int32, a *semiring.Arena) {
+// drainCritical executes ready super-nodes in priority order until
+// shutdown: pop the own heap, steal from the others, park when every
+// heap is empty.
+func (x *dfRun) drainCritical(w int, a *semiring.Arena) {
+	for {
+		if x.done.Load() {
+			return
+		}
+		sid, ok := x.take(w)
+		if !ok {
+			x.park()
+			continue
+		}
+		x.execSuperNode(sid, w, a)
+	}
+}
+
+// take pops the highest-priority node from worker w's heap, scanning
+// the other workers' heaps (stealing, most critical first) when the
+// own heap is empty.
+func (x *dfRun) take(w int) (int32, bool) {
+	for i := 0; i < len(x.heaps); i++ {
+		h := &x.heaps[(w+i)%len(x.heaps)]
+		h.mu.Lock()
+		if len(h.ids) > 0 {
+			sid := x.heapPop(h)
+			h.mu.Unlock()
+			x.queued.Add(-1)
+			return sid, true
+		}
+		h.mu.Unlock()
+	}
+	return 0, false
+}
+
+// park blocks until a push or shutdown. The pusher increments queued
+// before signaling and park re-checks queued under the lot's mutex, so
+// a push racing the empty heap scan is never lost.
+func (x *dfRun) park() {
+	x.parkMu.Lock()
+	x.sleepers.Add(1)
+	for x.queued.Load() == 0 && !x.done.Load() {
+		x.parkCond.Wait()
+	}
+	x.sleepers.Add(-1)
+	x.parkMu.Unlock()
+}
+
+func (x *dfRun) execSuperNode(sid int32, w int, a *semiring.Arena) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			n := &x.prog.nodes[id]
-			x.shutdown(fmt.Errorf("dataflow op %d (rank %d, kind %d) panicked: %v", id, n.rank, n.kind, rec))
+			s := &x.prog.supers[sid]
+			n := &x.prog.micros[s.first]
+			x.shutdown(fmt.Errorf("dataflow node %d (rank %d, kind %d) panicked: %v", sid, n.rank, n.kind, rec))
 		}
 	}()
-	x.exec(id, a)
+	x.execSuper(sid, w, a)
 	x.retire()
 }
 
-// complete records one satisfied dependency of node; the last one
-// enqueues it. The atomic decrement orders every prior write of the
-// dependency's producer (slot payloads, rank state) before the node's
-// execution.
-func (x *dfRun) complete(node int32) {
+// complete records one satisfied dependency of a super-node; the last
+// one enqueues it on worker w's queue. The atomic decrement orders
+// every prior write of the dependency's producer (slot payloads, rank
+// state) before the node's execution.
+func (x *dfRun) complete(sid int32, w int) {
 	if x.serial {
-		x.pending[node]--
-		if x.pending[node] == 0 {
-			x.queue = append(x.queue, node)
+		x.pending[sid]--
+		if x.pending[sid] == 0 {
+			if x.critical {
+				x.pushBitmap(sid)
+			} else {
+				x.queue = append(x.queue, sid)
+			}
 		}
 		return
 	}
-	if atomic.AddInt32(&x.pending[node], -1) == 0 {
-		x.live.Add(1)
-		x.ready <- node
+	if atomic.AddInt32(&x.pending[sid], -1) != 0 {
+		return
+	}
+	x.live.Add(1)
+	if !x.critical {
+		x.ready <- sid
+		return
+	}
+	x.queued.Add(1)
+	h := &x.heaps[w]
+	h.mu.Lock()
+	x.heapPush(h, sid)
+	h.mu.Unlock()
+	if x.sleepers.Load() > 0 {
+		x.parkMu.Lock()
+		x.parkCond.Signal()
+		x.parkMu.Unlock()
 	}
 }
 
-// retire finishes a node. Termination and stall detection are exact,
-// with no timers: live counts nodes enqueued but not retired, and
-// enqueues only happen from inside executing (hence unretired, hence
-// live-counted) nodes, so live reaching zero before every node retired
-// proves nothing can ever run again — a lowering bug, reported instead
-// of hanging. The machine executor needs a sampling watchdog for the
-// same job because its ranks block in ways it cannot count.
+// retire finishes a super-node. Termination and stall detection are
+// exact, with no timers: live counts nodes enqueued but not retired,
+// and enqueues only happen from inside executing (hence unretired,
+// hence live-counted) nodes, so live reaching zero before every node
+// retired proves nothing can ever run again — a lowering bug, reported
+// instead of hanging. The machine executor needs a sampling watchdog
+// for the same job because its ranks block in ways it cannot count.
 func (x *dfRun) retire() {
 	r := x.retired.Add(1)
-	if x.live.Add(-1) == 0 && int(r) < len(x.prog.nodes) {
-		x.shutdown(fmt.Errorf("dataflow executor stalled after %d of %d ops (dependency cycle in lowering)", r, len(x.prog.nodes)))
+	if x.live.Add(-1) == 0 && int(r) < len(x.prog.supers) {
+		x.shutdown(fmt.Errorf("dataflow executor stalled after %d of %d ops (dependency cycle in lowering)", r, len(x.prog.supers)))
 		return
 	}
-	if int(r) == len(x.prog.nodes) {
+	if int(r) == len(x.prog.supers) {
 		x.shutdown(nil)
 	}
 }
 
 // shutdown ends the run once: records the error (if any) and wakes
-// every worker with a sentinel.
+// every worker — sentinels on the fifo channel, a broadcast on the
+// critical parking lot.
 func (x *dfRun) shutdown(err error) {
 	if !x.done.CompareAndSwap(false, true) {
 		return
 	}
 	x.err = err
+	if x.critical {
+		x.parkMu.Lock()
+		x.parkCond.Broadcast()
+		x.parkMu.Unlock()
+		return
+	}
 	for i := 0; i < x.workers; i++ {
 		x.ready <- dfStop
 	}
+}
+
+// Heap plumbing: max-heap on super-node priority. The comparison uses
+// the frozen priority positions (prio desc, id asc at lowering), so
+// ordering is deterministic for a fixed plan and the hot compare reads
+// one dense int32 array instead of chasing prio through the supers.
+func (x *dfRun) heapLess(a, b int32) bool {
+	return x.prog.prioIdx[a] < x.prog.prioIdx[b]
+}
+
+func (x *dfRun) heapPush(h *dfHeap, sid int32) {
+	h.ids = append(h.ids, sid)
+	x.siftUp(h, len(h.ids)-1)
+}
+
+func (x *dfRun) siftUp(h *dfHeap, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !x.heapLess(h.ids[i], h.ids[p]) {
+			return
+		}
+		h.ids[i], h.ids[p] = h.ids[p], h.ids[i]
+		i = p
+	}
+}
+
+func (x *dfRun) heapPop(h *dfHeap) int32 {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.ids = h.ids[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= last {
+			return top
+		}
+		if c+1 < last && x.heapLess(h.ids[c+1], h.ids[c]) {
+			c++
+		}
+		if !x.heapLess(h.ids[c], h.ids[i]) {
+			return top
+		}
+		h.ids[i], h.ids[c] = h.ids[c], h.ids[i]
+		i = c
+	}
+}
+
+// Serial-mode priority bitmap: one bit per super-node at its frozen
+// priority position, plus a one-level summary (one bit per 64-bit
+// word). Push sets a bit; pop find-first-sets the summary then the
+// word — the lowest set position is the highest-priority ready node.
+// The hint tracks the lowest summary word that can be non-empty so pop
+// does not rescan known-empty prefixes.
+func (x *dfRun) pushBitmap(sid int32) {
+	p := int(x.prog.prioIdx[sid])
+	x.bmWords[p>>6] |= 1 << (p & 63)
+	x.bmSummary[p>>12] |= 1 << ((p >> 6) & 63)
+	if s := p >> 12; s < x.bmHint {
+		x.bmHint = s
+	}
+}
+
+func (x *dfRun) popBitmap() (int32, bool) {
+	for s := x.bmHint; s < len(x.bmSummary); s++ {
+		sw := x.bmSummary[s]
+		if sw == 0 {
+			continue
+		}
+		x.bmHint = s
+		wi := s<<6 | bits.TrailingZeros64(sw)
+		w := x.bmWords[wi]
+		p := wi<<6 | bits.TrailingZeros64(w)
+		w &= w - 1
+		x.bmWords[wi] = w
+		if w == 0 {
+			x.bmSummary[s] &^= 1 << (wi & 63)
+		}
+		return x.prog.prioSid[p], true
+	}
+	x.bmHint = len(x.bmSummary)
+	return 0, false
 }
 
 // recvMsg charges the i-th receive of n in program order and returns
@@ -525,12 +1061,12 @@ func (x *dfRun) recvMsg(n *dfNode, i int) []float64 {
 // message slot and credits the consumer's dependency. Publishing
 // happens mid-node, as soon as the machine would have sent — a relay's
 // children never wait for the relay's local compute.
-func (x *dfRun) sendMsg(n *dfNode, i int, data []float64) {
+func (x *dfRun) sendMsg(n *dfNode, w, i int, data []float64) {
 	msg := n.sends[i]
 	consumer := x.prog.msgConsumer[msg]
-	snap := x.led.ChargeSend(int(n.rank), int(x.prog.nodes[consumer].rank), int64(len(data)))
+	snap := x.led.ChargeSend(int(n.rank), int(x.prog.micros[consumer].rank), int64(len(data)))
 	x.slots[msg] = dfSlot{data: data, clock: snap}
-	x.complete(consumer)
+	x.complete(x.prog.superOf[consumer], w)
 }
 
 func (x *dfRun) pack(m *semiring.Matrix) []float64 {
@@ -567,7 +1103,7 @@ func (x *dfRun) unpack(data []float64, rows, cols int) *semiring.Matrix {
 // block (a copy — consumers share the payload), everyone else receives
 // once, then all forward down the tree. Charge order — receive, sends,
 // then the caller's consumer work — is the machine's.
-func (x *dfRun) bcastData(n *dfNode, op *BcastOp, rs *dfRankState) []float64 {
+func (x *dfRun) bcastData(n *dfNode, w int, op *BcastOp, rs *dfRankState) []float64 {
 	var data []float64
 	if int(n.rank) == op.Root {
 		data = x.packPruned(rs.A, op.Prune)
@@ -575,16 +1111,108 @@ func (x *dfRun) bcastData(n *dfNode, op *BcastOp, rs *dfRankState) []float64 {
 		data = x.recvMsg(n, 0)
 	}
 	for i := range n.sends {
-		x.sendMsg(n, i, data)
+		x.sendMsg(n, w, i, data)
 	}
 	return data
 }
 
-// exec runs one node. Each case mirrors the corresponding lines of
-// planExec.level; the charge sequences must stay textually parallel —
-// that correspondence is the bit-identity proof obligation.
-func (x *dfRun) exec(id int32, a *semiring.Arena) {
-	n := &x.prog.nodes[id]
+// execSuper runs every micro-node of a super-node in program order,
+// then credits the rank's next super-node. Runs of R2 panel updates
+// inside the super execute through the fused kernel.
+func (x *dfRun) execSuper(sid int32, w int, a *semiring.Arena) {
+	s := &x.prog.supers[sid]
+	end := s.first + s.count
+	for mi := s.first; mi < end; {
+		if x.labels != nil {
+			n := &x.prog.micros[mi]
+			next := mi
+			pprof.Do(context.Background(), x.labels[n.kind][n.level+1], func(context.Context) {
+				next = x.execAt(mi, end, w, a)
+			})
+			mi = next
+		} else {
+			mi = x.execAt(mi, end, w, a)
+		}
+	}
+	if s.next >= 0 {
+		x.complete(s.next, w)
+	}
+}
+
+// execAt executes the micro-node at mi — or, when mi starts a run of
+// consumer R2 panel updates inside the super-node, the whole fused
+// chain — and returns the index of the next unexecuted micro-node.
+func (x *dfRun) execAt(mi, end int32, w int, a *semiring.Arena) int32 {
+	if x.isPanelStep(mi) && mi+1 < end && x.isPanelStep(mi+1) {
+		return x.execPanelChain(mi, end, w, a)
+	}
+	x.exec(mi, w, a)
+	return mi + 1
+}
+
+// isPanelStep reports whether micro-node mi is a non-root R2 consumer:
+// one receive, a panel update of the owned block, maybe relays — the
+// shape PanelUpdateMultiScratch fuses.
+func (x *dfRun) isPanelStep(mi int32) bool {
+	n := &x.prog.micros[mi]
+	if n.kind != dfR2 {
+		return false
+	}
+	op := &x.pl.Levels[n.level].R2[n.op]
+	return int(n.rank) != op.Root && contains(op.Consumers, int(n.rank))
+}
+
+// execPanelChain runs a maximal fused run of consumer R2 panel updates
+// [start, j) through the fused kernel. The destination block stays hot
+// across the accumulations; the hooks interleave the ledger charges at
+// exactly the points the unfused nodes would have issued them — recv,
+// relays and operand memory before each multiply, flops and release
+// after — so the charge sequence is the per-step concatenation of the
+// unfused nodes' sequences, in the same order. Operand decode happens
+// up front: decoding is numeric-only (no ledger traffic), so hoisting
+// it preserves bit-identity.
+func (x *dfRun) execPanelChain(start, end int32, w int, a *semiring.Arena) int32 {
+	j := start + 1
+	for j < end && x.isPanelStep(j) {
+		j++
+	}
+	rank := int(x.prog.micros[start].rank)
+	rs := &x.ranks[rank]
+	cnt := int(j - start)
+	steps := make([]semiring.PanelStep, cnt)
+	raw := make([][]float64, cnt)
+	for i := range steps {
+		n := &x.prog.micros[start+int32(i)]
+		op := &x.pl.Levels[n.level].R2[n.op]
+		raw[i] = x.slots[n.recvs[0]].data
+		steps[i] = semiring.PanelStep{
+			D:     x.unpack(raw[i], x.sizes[op.BI], x.sizes[op.BJ]),
+			Right: op.Kind != opR2Left,
+		}
+	}
+	x.kern.PanelUpdateMultiScratch(rs.A, steps, a,
+		func(i int) {
+			n := &x.prog.micros[start+int32(i)]
+			x.led.SetSendClass(rank, comm.SendR2)
+			s := &x.slots[n.recvs[0]]
+			x.led.ChargeRecv(rank, s.clock, int64(len(s.data)))
+			for si := range n.sends {
+				x.sendMsg(n, w, si, raw[i])
+			}
+			x.led.AddMemory(rank, int64(len(steps[i].D.V)))
+		},
+		func(i int, ops int64) {
+			x.led.AddFlops(rank, ops)
+			x.led.AddMemory(rank, -int64(len(steps[i].D.V)))
+		})
+	return j
+}
+
+// exec runs one micro-node. Each case mirrors the corresponding lines
+// of planExec.level; the charge sequences must stay textually parallel
+// — that correspondence is the bit-identity proof obligation.
+func (x *dfRun) exec(id int32, w int, a *semiring.Arena) {
+	n := &x.prog.micros[id]
 	rank := int(n.rank)
 	rs := &x.ranks[rank]
 	var lv *planLevel
@@ -618,7 +1246,7 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 
 	case dfR2:
 		op := &lv.R2[n.op]
-		data := x.bcastData(n, op, rs)
+		data := x.bcastData(n, w, op, rs)
 		if contains(op.Consumers, rank) {
 			dk := x.unpack(data, x.sizes[op.BI], x.sizes[op.BJ])
 			x.led.AddMemory(rank, int64(len(dk.V)))
@@ -632,7 +1260,7 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 
 	case dfR3:
 		op := &lv.R3[n.op]
-		data := x.bcastData(n, op, rs)
+		data := x.bcastData(n, w, op, rs)
 		if contains(op.Consumers, rank) {
 			m := x.unpack(data, x.sizes[op.BI], x.sizes[op.BJ])
 			x.led.AddMemory(rank, int64(len(m.V)))
@@ -657,7 +1285,7 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 
 	case dfR4Col:
 		op := &lv.R4Col[n.op]
-		data := x.bcastData(n, op, rs)
+		data := x.bcastData(n, w, op, rs)
 		if contains(op.Consumers, rank) {
 			rs.unitAik = x.unpack(data, x.sizes[op.BI], x.sizes[op.BJ])
 			x.led.AddMemory(rank, int64(len(rs.unitAik.V)))
@@ -665,7 +1293,7 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 
 	case dfR4Row:
 		op := &lv.R4Row[n.op]
-		data := x.bcastData(n, op, rs)
+		data := x.bcastData(n, w, op, rs)
 		if contains(op.Consumers, rank) {
 			rs.unitAkj = x.unpack(data, x.sizes[op.BI], x.sizes[op.BJ])
 			x.led.AddMemory(rank, int64(len(rs.unitAkj.V)))
@@ -685,7 +1313,7 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 				semiring.MinInto(data, x.recvMsg(n, i))
 			}
 			for i := range n.sends {
-				x.sendMsg(n, i, data)
+				x.sendMsg(n, w, i, data)
 			}
 			if rank == op.Root {
 				semiring.MinInto(rs.A.V, data)
@@ -714,11 +1342,11 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 		op := &lv.R4Seq[n.op]
 		si := 0
 		if rank == op.AikOwner && op.Owner != op.AikOwner {
-			x.sendMsg(n, si, x.packPruned(rs.A, op.PruneA))
+			x.sendMsg(n, w, si, x.packPruned(rs.A, op.PruneA))
 			si++
 		}
 		if rank == op.AkjOwner && op.Owner != op.AkjOwner {
-			x.sendMsg(n, si, x.packPruned(rs.A, op.PruneB))
+			x.sendMsg(n, w, si, x.packPruned(rs.A, op.PruneB))
 		}
 		if rank == op.Owner {
 			ri := 0
@@ -745,7 +1373,7 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 	case dfTrans:
 		op := &lv.Trans[n.op]
 		if rank == op.Src {
-			x.sendMsg(n, 0, x.pack(rs.A))
+			x.sendMsg(n, w, 0, x.pack(rs.A))
 		}
 		if rank == op.Dst {
 			src := x.unpack(x.recvMsg(n, 0), x.sizes[op.BI], x.sizes[op.BJ])
@@ -754,8 +1382,5 @@ func (x *dfRun) exec(id int32, a *semiring.Arena) {
 
 	case dfMark:
 		x.led.Mark(rank, x.prog.levelNames[n.level])
-	}
-	if n.next >= 0 {
-		x.complete(n.next)
 	}
 }

@@ -140,26 +140,55 @@ func TestDataflowLoweringShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog := pl.dataflow()
-	if prog != pl.dataflow() {
-		t.Error("dataflow() not cached: two calls returned different programs")
-	}
-	if len(prog.seeds) != pl.P {
-		t.Errorf("got %d seeds, want one dfInit per rank (%d)", len(prog.seeds), pl.P)
-	}
-	perRank := make([]int, pl.P)
-	for _, n := range prog.nodes {
-		perRank[n.rank]++
-	}
-	for r, c := range perRank {
-		// At minimum: dfInit plus one dfMark per level.
-		if c < 1+len(pl.Levels) {
-			t.Errorf("rank %d has %d nodes, want at least %d", r, c, 1+len(pl.Levels))
+	for _, fuse := range []Fuse{FuseOn, FuseOff} {
+		prog := pl.dataflow(fuse)
+		if prog != pl.dataflow(fuse) {
+			t.Errorf("fuse=%v: dataflow() not cached: two calls returned different programs", fuse)
 		}
-	}
-	for m, c := range prog.msgConsumer {
-		if len(prog.nodes[c].recvs) == 0 {
-			t.Errorf("message %d points at node %d which has no recvs", m, c)
+		if len(prog.seeds) != pl.P {
+			t.Errorf("fuse=%v: got %d seeds, want one head per rank (%d)", fuse, len(prog.seeds), pl.P)
+		}
+		perRank := make([]int, pl.P)
+		for _, n := range prog.micros {
+			perRank[n.rank]++
+		}
+		for r, c := range perRank {
+			// At minimum: dfInit plus one dfMark per level.
+			if c < 1+len(pl.Levels) {
+				t.Errorf("fuse=%v: rank %d has %d micro-nodes, want at least %d", fuse, r, c, 1+len(pl.Levels))
+			}
+		}
+		for m, c := range prog.msgConsumer {
+			if len(prog.micros[c].recvs) == 0 {
+				t.Errorf("fuse=%v: message %d points at node %d which has no recvs", fuse, m, c)
+			}
+		}
+		// Super-node partition invariants: contiguous, same-rank,
+		// program-order runs covering every micro-node exactly once.
+		covered := 0
+		for sid, s := range prog.supers {
+			if s.count < 1 {
+				t.Fatalf("fuse=%v: super %d has count %d", fuse, sid, s.count)
+			}
+			covered += int(s.count)
+			rank := prog.micros[s.first].rank
+			for m := s.first; m < s.first+s.count; m++ {
+				if prog.micros[m].rank != rank {
+					t.Fatalf("fuse=%v: super %d spans ranks", fuse, sid)
+				}
+				if prog.superOf[m] != int32(sid) {
+					t.Fatalf("fuse=%v: superOf[%d] = %d, want %d", fuse, m, prog.superOf[m], sid)
+				}
+			}
+		}
+		if covered != len(prog.micros) {
+			t.Errorf("fuse=%v: supers cover %d micro-nodes, want %d", fuse, covered, len(prog.micros))
+		}
+		if fuse == FuseOff && len(prog.supers) != len(prog.micros) {
+			t.Errorf("fuse=off: %d supers for %d micro-nodes, want 1:1", len(prog.supers), len(prog.micros))
+		}
+		if fuse == FuseOn && len(prog.supers) >= len(prog.micros) {
+			t.Errorf("fuse=on: merging coalesced nothing (%d supers, %d micro-nodes)", len(prog.supers), len(prog.micros))
 		}
 	}
 }

@@ -48,14 +48,38 @@ func (pl *Plan) Execute(ly *Layout, kern semiring.Kernel) (*DistResult, error) {
 // are bit-identical (pinned by the golden cost test and the
 // executor-equality property test).
 func (pl *Plan) ExecuteWith(ly *Layout, kern semiring.Kernel, ex Executor) (*DistResult, error) {
+	return pl.ExecuteOpts(ly, ExecOpts{Kernel: kern, Executor: ex})
+}
+
+// ExecOpts bundles the execution-time knobs of a Plan replay. The zero
+// value is the default engine: dataflow executor, serial kernel,
+// critical-path schedule, fusion on, auto worker count. Schedule, Fuse
+// and Workers shape only the dataflow executor's scheduling — every
+// combination produces bit-identical distances and charged costs; the
+// machine executor ignores them.
+type ExecOpts struct {
+	Kernel   semiring.Kernel
+	Executor Executor
+	Schedule Schedule
+	Fuse     Fuse
+	// Workers bounds the dataflow executor's worker pool. 0 means auto
+	// (the shared pool's size, capped at p); explicit values are capped
+	// at p, and the pool itself never runs more than its own size
+	// concurrently.
+	Workers int
+}
+
+// ExecuteOpts is Execute with the full set of execution knobs; see
+// ExecOpts.
+func (pl *Plan) ExecuteOpts(ly *Layout, o ExecOpts) (*DistResult, error) {
 	if ly.Tree.H != pl.H || ly.ND.N != pl.NSup {
 		return nil, fmt.Errorf("apsp: layout (h=%d, N=%d) does not match plan (h=%d, N=%d)",
 			ly.Tree.H, ly.ND.N, pl.H, pl.NSup)
 	}
-	if ex == ExecMachine {
-		return pl.executeMachine(ly, kern)
+	if o.Executor == ExecMachine {
+		return pl.executeMachine(ly, o.Kernel)
 	}
-	return pl.executeDataflow(ly, kern)
+	return pl.executeDataflow(ly, o)
 }
 
 // executeMachine runs the plan on the simulated machine, one goroutine

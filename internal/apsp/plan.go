@@ -157,12 +157,15 @@ type Plan struct {
 	hash string // lazily computed content hash
 	once sync.Once
 
-	// Lowered dataflow graph (dataflow.go), built lazily on the first
-	// dataflow Execute and shared by all subsequent ones: the lowering
-	// is a pure function of the symbolic schedule, so like the plan
-	// itself it is weights-independent and immutable once built.
-	dfOnce sync.Once
-	df     *dfProgram
+	// Lowered dataflow graphs (dataflow.go), one per fuse mode, built
+	// lazily on the first dataflow Execute of each mode and shared by
+	// all subsequent ones: the lowering is a pure function of the
+	// symbolic schedule, so like the plan itself it is
+	// weights-independent and immutable once built. Index 0 is the
+	// fused/coalesced graph (the default), index 1 the 1:1 ablation
+	// graph.
+	dfOnce [2]sync.Once
+	df     [2]*dfProgram
 }
 
 // ScratchWords returns the scratch-arena words rank needs for an

@@ -80,6 +80,11 @@ type RepairOptions struct {
 	// choose.
 	Kernel   semiring.Kernel
 	Executor Executor
+	// Schedule, Fuse and ExecWorkers shape the fallback solve's
+	// dataflow scheduling (see ExecOpts); zero values are the defaults.
+	Schedule    Schedule
+	Fuse        Fuse
+	ExecWorkers int
 }
 
 // RepairStats describes what one Repair call did.
@@ -570,7 +575,13 @@ func (h *pairHeap) pop() (float64, int) {
 // cache-warm re-solve through the registry would have done.
 func (pl *Plan) repairFallback(g2 *graph.Graph, opts RepairOptions, st *RepairStats) (*PathResult, *graph.Graph, RepairStats, error) {
 	st.FellBack = true
-	res, err := pl.ExecuteWith(pl.LayoutFor(g2), opts.Kernel, opts.Executor)
+	res, err := pl.ExecuteOpts(pl.LayoutFor(g2), ExecOpts{
+		Kernel:   opts.Kernel,
+		Executor: opts.Executor,
+		Schedule: opts.Schedule,
+		Fuse:     opts.Fuse,
+		Workers:  opts.ExecWorkers,
+	})
 	if err != nil {
 		return nil, nil, *st, err
 	}

@@ -38,10 +38,7 @@ func (c *Ctx) Send(dst, tag int, data []float64) {
 	st.sentMsgs++
 	st.sentWords += int64(len(data))
 	st.sentByClass[st.sendClass] += int64(len(data))
-	if st.sentTo == nil {
-		st.sentTo = make([]int64, c.machine.p)
-	}
-	st.sentTo[dst] += int64(len(data))
+	st.addSent(dst, int64(len(data)))
 	c.machine.boxes[dst].put(&c.machine.ws, msg)
 }
 

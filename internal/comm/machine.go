@@ -87,11 +87,34 @@ type rankState struct {
 	recvdMsgs  int64
 	recvdWords int64
 	localFlops int64       // flops performed by this rank itself (no max-merge)
-	sentTo     []int64     // words sent per destination rank (lazily sized)
+	sentTo     []dstWords  // words sent per destination rank (compact pairs)
 	marks      []markEntry // phase boundaries recorded by Ctx.Mark
 
 	sendClass   SendClass             // phase label charged by subsequent sends
 	sentByClass [NumSendClasses]int64 // words sent per phase class
+}
+
+// dstWords is one (destination, words) entry of a rank's traffic row.
+// A rank talks to O(log p) distinct peers (its collective-tree
+// neighbours), so the row is kept as a short scanned list instead of a
+// dense p-word slice — at p ≈ 10³ the dense rows cost several MB of
+// zeroed allocation per run and dominate the executor's GC load.
+type dstWords struct {
+	dst   int32
+	words int64
+}
+
+// addSent accumulates words into the rank's traffic row. Consecutive
+// sends usually target the same peer (tree fan-out runs), so the scan
+// starts from the most recent entry.
+func (st *rankState) addSent(dst int, words int64) {
+	for i := len(st.sentTo) - 1; i >= 0; i-- {
+		if st.sentTo[i].dst == int32(dst) {
+			st.sentTo[i].words += words
+			return
+		}
+	}
+	st.sentTo = append(st.sentTo, dstWords{dst: int32(dst), words: words})
 }
 
 // Machine is a simulated distributed-memory machine with p ranks.
@@ -264,7 +287,9 @@ func trafficOf(p int, states []rankState) [][]int64 {
 	flat := make([]int64, p*p)
 	for r := range out {
 		out[r] = flat[r*p : (r+1)*p : (r+1)*p]
-		copy(out[r], states[r].sentTo)
+		for _, e := range states[r].sentTo {
+			out[r][e.dst] = e.words
+		}
 	}
 	return out
 }

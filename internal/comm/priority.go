@@ -1,0 +1,27 @@
+package comm
+
+// Scalar cost model for list scheduling. The dataflow executor orders
+// ready nodes by critical-path priority: the longest cost path from
+// the node to any sink of the lowered graph, computed at lowering time
+// by a reverse topological sweep. The per-node weight comes from the
+// same deterministic quantities this package charges — message count,
+// payload words and kernel operation count — collapsed into a single
+// comparable int64. The collapse mirrors the α-β-γ shape of the Cost
+// vector: one message hop is worth PriorityHopCost word-equivalents,
+// words and flops count one each. Priorities only order execution;
+// they never feed back into charged costs, so any deterministic weight
+// is semantically safe — this one just makes "most critical first"
+// track the ledger's own critical path.
+
+// PriorityHopCost is the scheduling weight of one message hop relative
+// to moving one word (the α/β ratio of the priority model). The exact
+// value only shifts tie-breaks between latency-bound relay chains and
+// bandwidth/compute-bound updates; 64 keeps log-depth collective
+// spines ahead of similarly-sized local arithmetic.
+const PriorityHopCost = 64
+
+// PriorityCost folds a node's charged quantities into its scheduling
+// weight.
+func PriorityCost(messages, words, flops int64) int64 {
+	return messages*PriorityHopCost + words + flops
+}

@@ -44,10 +44,7 @@ func (r *Replay) ChargeSend(src, dst int, words int64) Cost {
 	st.sentMsgs++
 	st.sentWords += words
 	st.sentByClass[st.sendClass] += words
-	if st.sentTo == nil {
-		st.sentTo = make([]int64, r.p)
-	}
-	st.sentTo[dst] += words
+	st.addSent(dst, words)
 	return snap
 }
 

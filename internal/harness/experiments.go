@@ -25,11 +25,15 @@ type Config struct {
 	Kernel       semiring.Kernel // min-plus kernel for local block arithmetic
 	Wire         apsp.WireFormat // sparse-solver payload encoding (packed or dense)
 	Executor     apsp.Executor   // plan executor (machine or dataflow; costs are identical)
+	Schedule     apsp.Schedule   // dataflow scheduling policy (critical or fifo; costs are identical)
+	Fuse         apsp.Fuse       // dataflow node fusion (on or off; costs are identical)
+	ExecWorkers  int             // dataflow worker count; 0 = auto
 }
 
 // sparseOpts builds the SparseOptions every experiment shares.
 func (c Config) sparseOpts() apsp.SparseOptions {
-	return apsp.SparseOptions{Seed: c.Seed, Kernel: c.Kernel, Wire: c.Wire, Executor: c.Executor}
+	return apsp.SparseOptions{Seed: c.Seed, Kernel: c.Kernel, Wire: c.Wire,
+		Executor: c.Executor, Schedule: c.Schedule, Fuse: c.Fuse, ExecWorkers: c.ExecWorkers}
 }
 
 // DefaultConfig returns the sweep used by the benchmark suite.
@@ -574,6 +578,146 @@ func ExecutorComparison(cfg Config, reps int) (*Table, error) {
 	t.Note("identical charged costs by construction (dataflow replays the machine's clock")
 	t.Note("updates in plan order); speedup is pure scheduling: a bounded worker pool walking")
 	t.Note("the ready frontier vs p goroutines parked in blocking receives")
+	return t, nil
+}
+
+// SchedulerAblation runs experiment E24: the cost-aware dataflow
+// scheduler against its own ablations on warm plans. Three variants run
+// per workload — fifo (unordered ready queue, unfused; the E19
+// scheduler), crit (critical-path priorities on per-worker heaps with
+// stealing, unfused) and critfuse (priorities plus fused panel chains
+// and coalesced relay runs; the default) — all three must produce
+// bit-identical distances and cost reports (asserted before timing).
+// The rcm_dw column reports the RCM ordering ablation: total charged
+// words of an Order=rcm solve over the natural-order solve on the same
+// graph (distances are equal by construction; only measured costs and
+// kernel time move).
+func SchedulerAblation(cfg Config, reps int) (*Table, error) {
+	t := &Table{
+		ID: "E24",
+		Title: fmt.Sprintf("dataflow scheduler ablation on warm plans (wall-clock, best of %d)",
+			reps),
+		Columns: []string{"workload", "n", "p", "wire", "nodes", "nodes_fused",
+			"fifo_ms", "crit_ms", "critfuse_ms", "speedup", "rcm_dw"},
+	}
+	w := func(seed int64) *rand.Rand { return rand.New(rand.NewSource(cfg.Seed + seed)) }
+	// Integer weights keep path sums float64-exact, so the rcm column's
+	// bit-identity assert holds across orderings (real-valued weights
+	// would drift by ULPs when a different elimination order
+	// re-associates the additions).
+	intw := func(r *rand.Rand) graph.WeightFn {
+		return func(u, v int) float64 { return float64(r.Intn(10) + 1) }
+	}
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+		p    int
+		wire apsp.WireFormat
+	}{
+		// Mid-size machine: modest scheduling pressure.
+		{"grid30", graph.Grid2D(30, 30, intw(w(2))), 225, apsp.WirePacked},
+		// Serving scale: p = 961 ranks over a few hundred vertices,
+		// where the ready frontier is wide and per-node overhead is the
+		// whole cost. Same families as E19 plus the star, whose single
+		// hub separator maximises relay-chain depth.
+		{"path600", graph.Path(600, graph.UnitWeights), 961, apsp.WireDense},
+		{"cycle800", graph.Cycle(800, graph.UnitWeights), 961, apsp.WirePacked},
+		{"tree600", graph.RandomTree(600, graph.UnitWeights, w(3)), 961, apsp.WireDense},
+		{"star600", graph.Star(600, graph.UnitWeights), 961, apsp.WirePacked},
+	}
+	variants := []struct {
+		name  string
+		sched apsp.Schedule
+		fuse  apsp.Fuse
+	}{
+		{"fifo", apsp.ScheduleFIFO, apsp.FuseOff},
+		{"crit", apsp.ScheduleCritical, apsp.FuseOff},
+		{"critfuse", apsp.ScheduleCritical, apsp.FuseOn},
+	}
+	for _, wl := range workloads {
+		h, err := apsp.HeightForP(wl.p)
+		if err != nil {
+			return nil, err
+		}
+		ly, err := apsp.NewLayout(wl.g, h, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := apsp.BuildPlan(ly, wl.p, wl.wire, apsp.R4Mapped)
+		if err != nil {
+			return nil, err
+		}
+		// Interleaved best-of timing: each repetition round times every
+		// variant once, so ambient host load hits all three equally
+		// instead of skewing whichever variant's phase it overlapped.
+		// Round 0 is an untimed warm-up that also feeds the bit-identity
+		// gate: every variant must replay the same plan-order charge
+		// sequence and min-plus accumulation order.
+		ms := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+		var ref *apsp.DistResult
+		for rep := 0; rep <= reps; rep++ {
+			for i, v := range variants {
+				o := apsp.ExecOpts{Kernel: cfg.Kernel, Executor: apsp.ExecDataflow,
+					Schedule: v.sched, Fuse: v.fuse, Workers: cfg.ExecWorkers}
+				start := time.Now()
+				res, err := pl.ExecuteOpts(ly, o)
+				if err != nil {
+					return nil, fmt.Errorf("sched %s %s: %w", wl.name, v.name, err)
+				}
+				if d := float64(time.Since(start).Nanoseconds()) / 1e6; rep > 0 && d < ms[i] {
+					ms[i] = d
+				}
+				if rep > 0 {
+					continue
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if !reflect.DeepEqual(res.Report, ref.Report) {
+					return nil, fmt.Errorf("sched %s: %s cost report differs from fifo", wl.name, v.name)
+				}
+				if !reflect.DeepEqual(res.Dist.V, ref.Dist.V) {
+					return nil, fmt.Errorf("sched %s: %s distances differ from fifo", wl.name, v.name)
+				}
+			}
+		}
+		// The scheduler exists to not lose: on the star's deep relay
+		// chains the fused critical-path schedule must never regress
+		// materially against the unordered queue.
+		if wl.name == "star600" && ms[2] > ms[0]*1.25 {
+			return nil, fmt.Errorf("sched star600: critfuse %.2fms is >25%% slower than fifo %.2fms", ms[2], ms[0])
+		}
+		// RCM ordering ablation: full solves (the permutation changes
+		// the nested dissection, so no plan is shared), words ratio.
+		nat, err := apsp.SparseAPSPWith(wl.g, wl.p, apsp.SparseOptions{
+			Seed: cfg.Seed, Kernel: cfg.Kernel, Wire: wl.wire, Schedule: cfg.Schedule, Fuse: cfg.Fuse})
+		if err != nil {
+			return nil, fmt.Errorf("sched %s natural: %w", wl.name, err)
+		}
+		rcm, err := apsp.SparseAPSPWith(wl.g, wl.p, apsp.SparseOptions{
+			Seed: cfg.Seed, Kernel: cfg.Kernel, Wire: wl.wire, Schedule: cfg.Schedule, Fuse: cfg.Fuse,
+			Order: apsp.OrderRCM})
+		if err != nil {
+			return nil, fmt.Errorf("sched %s rcm: %w", wl.name, err)
+		}
+		if !reflect.DeepEqual(rcm.Dist.V, nat.Dist.V) {
+			return nil, fmt.Errorf("sched %s: rcm distances differ from natural order", wl.name)
+		}
+		rcmDW := float64(rcm.Report.TotalWords) / float64(nat.Report.TotalWords)
+		t.Add(wl.name, wl.g.N(), wl.p, wl.wire.String(),
+			pl.DataflowNodes(apsp.FuseOff), pl.DataflowNodes(apsp.FuseOn),
+			ms[0], ms[1], ms[2], ms[0]/ms[2], rcmDW)
+	}
+	t.Note("identical charged costs across all three variants by construction; speedup is")
+	t.Note("fifo_ms/critfuse_ms — pure scheduling and per-node overhead. nodes vs nodes_fused")
+	t.Note("counts scheduler nodes before/after coalescing rank-local relay runs and panel")
+	t.Note("chains. rcm_dw is total charged words of an Order=rcm solve over natural order:")
+	t.Note("a different labeling changes the nested dissection, so words move while the")
+	t.Note("distances stay bit-identical (mapped back to input order). on a host with a")
+	t.Note("single hardware thread both policies run the serial driver (LIFO stack vs")
+	t.Note("priority bitmap) and speedup sits near 1.0; the per-worker heaps + stealing")
+	t.Note("only separate the variants when GOMAXPROCS gives the pool real parallelism")
 	return t, nil
 }
 
